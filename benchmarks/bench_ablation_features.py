@@ -1,0 +1,29 @@
+"""Bench A3 — feature-set and encoding ablation (Table 1 categories).
+
+Expected: the full sessionized, weighted encoding dominates; dropping the
+identifier or state features loses entire attack classes; global
+(non-sessionized) windows collapse recall — the design choices DESIGN.md
+records are load-bearing.
+"""
+
+from conftest import save_artifact
+
+from repro.experiments.ablations import AblationConfig, run_feature_ablation
+
+
+def test_feature_set_ablation(benchmark, artifact_dir):
+    result = benchmark.pedantic(
+        lambda: run_feature_ablation(AblationConfig()), rounds=1, iterations=1
+    )
+    text = result.render()
+    save_artifact(artifact_dir, "ablation_features.txt", text)
+    print("\n" + text)
+    rows = {row.label: row for row in result.rows}
+    benchmark.extra_info["rows"] = {
+        label: {"fp": round(row.benign_fp_rate, 4), "recall": round(row.attack_recall, 4)}
+        for label, row in rows.items()
+    }
+    full = rows["full"]
+    assert full.attack_recall > 0.8
+    assert rows["no-state"].attack_recall < full.attack_recall + 1e-9
+    assert rows["global-windows"].attack_recall < full.attack_recall

@@ -1,0 +1,34 @@
+"""Bench A2 — threshold-percentile ablation (the paper picks 99% in §4.1).
+
+Expected shape: a monotone precision/recall trade-off in the percentile,
+with the paper's 99th percentile sitting at a knee — single-digit false
+alarms while keeping recall high; 99.9% collapses recall.
+"""
+
+from conftest import save_artifact
+
+from repro.experiments.ablations import AblationConfig, run_threshold_ablation
+
+
+def test_threshold_percentile_ablation(benchmark, artifact_dir):
+    result = benchmark.pedantic(
+        lambda: run_threshold_ablation(
+            AblationConfig(), percentiles=(90.0, 95.0, 97.5, 99.0, 99.9)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    text = result.render()
+    save_artifact(artifact_dir, "ablation_threshold.txt", text)
+    print("\n" + text)
+    rows = {row.label: row for row in result.rows}
+    benchmark.extra_info["rows"] = {
+        label: {"fp": round(row.benign_fp_rate, 4), "recall": round(row.attack_recall, 4)}
+        for label, row in rows.items()
+    }
+    fp = [row.benign_fp_rate for row in result.rows]
+    recall = [row.attack_recall for row in result.rows]
+    assert fp == sorted(fp, reverse=True), "false alarms fall as the threshold rises"
+    assert recall == sorted(recall, reverse=True), "recall falls as the threshold rises"
+    assert rows["p99"].benign_fp_rate < 0.10
+    assert rows["p99"].attack_recall > 0.8

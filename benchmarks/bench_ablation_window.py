@@ -1,0 +1,28 @@
+"""Bench A1 — window-size ablation (the N the paper leaves free in §3.2)."""
+
+from conftest import save_artifact
+
+from repro.experiments.ablations import AblationConfig, run_window_ablation
+
+
+def test_window_size_ablation(benchmark, artifact_dir):
+    result = benchmark.pedantic(
+        lambda: run_window_ablation(AblationConfig(), windows=(4, 6, 8, 10)),
+        rounds=1,
+        iterations=1,
+    )
+    text = result.render()
+    save_artifact(artifact_dir, "ablation_window.txt", text)
+    print("\n" + text)
+    benchmark.extra_info["rows"] = {
+        row.label: {"fp": round(row.benign_fp_rate, 4), "recall": round(row.attack_recall, 4)}
+        for row in result.rows
+    }
+    rows = {row.label: row for row in result.rows}
+    for row in result.rows:
+        assert row.benign_fp_rate < 0.15, row.label
+    # The mid-range window sizes are the usable operating points; very
+    # short windows can't span the attack signatures (informative result).
+    assert rows["N=6"].attack_recall > 0.7
+    assert rows["N=8"].attack_recall > 0.7
+    assert rows["N=4"].attack_recall < rows["N=6"].attack_recall

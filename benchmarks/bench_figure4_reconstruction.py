@@ -1,0 +1,41 @@
+"""Bench E2 — regenerate Figure 4 (reconstruction-error patterns).
+
+Expected shape versus the paper: every attack instance's error burst peaks
+above the detection threshold, and bursts of the *same* attack type are
+more similar to each other than to other types (the paper's ①/② group
+anomaly observation) — quantified by the intra- vs inter-type signature
+distances and the leave-one-out attack-type classification accuracy.
+"""
+
+from conftest import save_artifact
+
+from repro.experiments.figure4 import Figure4Config, run_figure4
+
+
+def test_figure4_reconstruction_errors(benchmark, artifact_dir):
+    result = benchmark.pedantic(
+        lambda: run_figure4(Figure4Config()), rounds=1, iterations=1
+    )
+    text = result.render()
+    save_artifact(artifact_dir, "figure4.txt", text)
+    print("\n" + text)
+
+    intra = result.intra_type_similarity()
+    inter = result.inter_type_similarity()
+    benchmark.extra_info["num_bursts"] = len(result.bursts)
+    benchmark.extra_info["threshold"] = round(result.threshold, 4)
+    benchmark.extra_info["intra_type_distance"] = {
+        k: round(v, 3) for k, v in intra.items()
+    }
+    benchmark.extra_info["inter_type_distance"] = round(inter, 3)
+    benchmark.extra_info["type_classification_accuracy"] = round(
+        result.classifier_accuracy, 3
+    )
+
+    # Paper-shape checks.
+    assert len(result.bursts) >= 5
+    for burst in result.bursts:
+        assert burst.scores.max() > result.threshold, burst.attack_name
+    mean_intra = sum(intra.values()) / len(intra)
+    assert mean_intra < inter, "same-type bursts must cluster (Figure 4 ①②)"
+    assert result.classifier_accuracy >= 0.7

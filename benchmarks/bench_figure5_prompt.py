@@ -1,0 +1,31 @@
+"""Bench E4 — regenerate Figure 5 (prompt template + example response).
+
+Expected: ChatGPT-4o's response to the BTS DoS trace identifies a
+signaling storm from the repeated RRC message pattern, as in the paper's
+example, with the classification/explanation/attribution/remediation
+structure intact.
+"""
+
+from conftest import save_artifact
+
+from repro.experiments.figure5 import Figure5Config, run_figure5
+
+
+def test_figure5_prompt_and_response(benchmark, artifact_dir):
+    result = benchmark.pedantic(
+        lambda: run_figure5(Figure5Config()), rounds=1, iterations=1
+    )
+    text = result.render()
+    save_artifact(artifact_dir, "figure5.txt", text)
+    print("\n" + text)
+
+    benchmark.extra_info["identifies_signaling_storm"] = result.identifies_signaling_storm
+    benchmark.extra_info["top_attack"] = (
+        result.response.top_attacks[0][0] if result.response.top_attacks else ""
+    )
+
+    assert "AI security analyst" in result.prompt
+    assert result.response.is_anomalous
+    assert result.identifies_signaling_storm
+    assert result.response.top_attacks
+    assert result.response.remediations

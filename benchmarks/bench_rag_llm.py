@@ -1,0 +1,41 @@
+"""Bench S1 — specialized LLMs: zero-shot vs. RAG vs. fine-tuned (§5).
+
+Expected shape: retrieval augmentation never hurts and lifts every model
+that has reasoning-but-not-knowledge gaps; the locally fine-tuned
+cellular-domain model answers the full grid correctly.
+"""
+
+from conftest import save_artifact
+
+from repro.experiments.rag_study import RagStudyConfig, run_rag_study
+
+
+def test_rag_and_finetuning_study(benchmark, artifact_dir):
+    result = benchmark.pedantic(
+        lambda: run_rag_study(RagStudyConfig()), rounds=1, iterations=1
+    )
+    text = result.render()
+    save_artifact(artifact_dir, "rag_study.txt", text)
+    print("\n" + text)
+
+    total = len(result.cases)
+    benchmark.extra_info["zero_shot"] = {
+        model: result.correct_count("zero-shot", model)
+        for model in result.config.models
+    }
+    benchmark.extra_info["rag"] = {
+        model: result.correct_count("rag", model) for model in result.config.models
+    }
+    benchmark.extra_info["finetuned"] = result.correct_count(
+        "finetuned", result.config.finetuned_model
+    )
+
+    for model in result.config.models:
+        zero_shot = result.correct_count("zero-shot", model)
+        rag = result.correct_count("rag", model)
+        assert rag >= zero_shot, f"RAG must not hurt {model}"
+    assert sum(
+        result.correct_count("rag", m) - result.correct_count("zero-shot", m)
+        for m in result.config.models
+    ) >= 3, "RAG must close several knowledge gaps overall"
+    assert result.correct_count("finetuned", result.config.finetuned_model) == total

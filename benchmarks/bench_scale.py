@@ -1,0 +1,37 @@
+"""Bench P2 — pipeline scalability over traffic load (§1 challenge).
+
+Expected shape: detection latency stays inside the near-RT budget and the
+benign alarm rate stays in single digits as traffic grows 4x; wall-clock
+cost grows roughly linearly with load.
+"""
+
+from conftest import save_artifact
+
+from repro.experiments.scale import ScaleConfig, run_scale_experiment
+
+
+def test_pipeline_scalability(benchmark, artifact_dir):
+    result = benchmark.pedantic(
+        lambda: run_scale_experiment(ScaleConfig()), rounds=1, iterations=1
+    )
+    text = result.render()
+    save_artifact(artifact_dir, "scale.txt", text)
+    print("\n" + text)
+
+    benchmark.extra_info["points"] = {
+        f"x{p.multiplier}": {
+            "records": p.records,
+            "alarm_rate": round(p.alarm_rate, 4),
+            "det_max_s": p.detection_max_s,
+        }
+        for p in result.points
+    }
+
+    for point in result.points:
+        assert point.records > 0
+        assert point.alarm_rate < 0.10, f"x{point.multiplier} alarm rate"
+        if point.detection_max_s is not None:
+            assert point.detection_max_s < 1.0, f"x{point.multiplier} latency"
+    # Throughput grows with load (the pipeline doesn't saturate).
+    records = [p.records for p in result.points]
+    assert records == sorted(records)

@@ -1,0 +1,82 @@
+"""Substrate micro-benchmarks: throughput of the hot paths.
+
+These measure real (wall-clock) performance of the pieces a deployment
+would size against: TLV codec, telemetry featurization, detector inference,
+and the simulator's event throughput.
+"""
+
+import numpy as np
+
+from repro import wire
+from repro.ml import AutoencoderDetector
+from repro.ran import FiveGNetwork, NetworkConfig
+from repro.telemetry import MobiFlowCollector
+from repro.telemetry.features import FeatureSpec
+from repro.telemetry.mobiflow import MobiFlowRecord, TelemetrySeries
+
+
+def _sample_value():
+    return {
+        "msg": "RegistrationRequest",
+        "ie": {"suci": "suci-001-01-abcdef0123456789", "caps": [2, 1, 0, 18, 17, 16]},
+        "ts": 12.345678,
+    }
+
+
+def test_wire_encode_throughput(benchmark):
+    value = _sample_value()
+    benchmark(lambda: wire.encode(value))
+
+
+def test_wire_decode_throughput(benchmark):
+    data = wire.encode(_sample_value())
+    benchmark(lambda: wire.decode(data))
+
+
+def _benign_series(n_sessions=30):
+    net = FiveGNetwork(NetworkConfig(seed=9))
+    for i in range(4):
+        ue = net.add_ue("pixel5")
+        for k in range(n_sessions // 4):
+            net.sim.schedule(0.2 + i * 0.8 + k * 9.0, ue.start_session)
+    net.run(until=n_sessions * 2.0 + 30.0)
+    return MobiFlowCollector().parse_stream(net.pcap)
+
+
+def test_featurization_throughput(benchmark):
+    series = _benign_series()
+    spec = FeatureSpec()
+    matrix = benchmark(lambda: spec.encode_series(series))
+    assert matrix.shape[0] == len(series)
+
+
+def test_streaming_encoder_per_record(benchmark):
+    spec = FeatureSpec()
+    record = MobiFlowRecord(
+        timestamp=1.0, msg="RRCSetupRequest", protocol="RRC", direction="UL",
+        session_id=1, rnti=0x10, establishment_cause="mo-Data",
+    )
+    encoder = spec.streaming_encoder()
+    benchmark(lambda: encoder.push(record))
+
+
+def test_autoencoder_inference_throughput(benchmark):
+    spec = FeatureSpec()
+    rng = np.random.default_rng(0)
+    windows = rng.random((256, 6 * spec.dim))
+    detector = AutoencoderDetector(window=6, feature_dim=spec.dim, seed=0)
+    detector.fit(windows, epochs=2)
+    scores = benchmark(lambda: detector.scores(windows))
+    assert scores.shape == (256,)
+
+
+def test_simulator_event_throughput(benchmark):
+    def run_sessions():
+        net = FiveGNetwork(NetworkConfig(seed=11))
+        ue = net.add_ue("oai_ue")
+        ue.start_session()
+        net.run(until=30.0)
+        return net.sim.events_processed
+
+    events = benchmark(run_sessions)
+    assert events > 20

@@ -1,0 +1,42 @@
+"""Bench E1 — regenerate Table 2 (detection performance) at paper scale.
+
+Run with ``pytest benchmarks/bench_table2_detection.py --benchmark-only``.
+The rendered table is written to ``benchmarks/out/table2.txt`` and the
+headline metrics land in the benchmark's extra_info.
+
+Expected shape versus the paper: both models reach 100% *event-level*
+recall on the five attacks; benign false alarms stay under 10%; the
+autoencoder is at least as good as the LSTM on the benign dataset.
+"""
+
+from conftest import save_artifact
+
+from repro.experiments.table2 import Table2Config, run_table2
+
+
+def test_table2_detection(benchmark, artifact_dir):
+    result = benchmark.pedantic(
+        lambda: run_table2(Table2Config()), rounds=1, iterations=1
+    )
+    text = result.render()
+    save_artifact(artifact_dir, "table2.txt", text)
+    print("\n" + text)
+
+    ae_benign = result.by_key("benign", "autoencoder")
+    lstm_benign = result.by_key("benign", "lstm")
+    ae_attack = result.by_key("attack", "autoencoder")
+    lstm_attack = result.by_key("attack", "lstm")
+
+    benchmark.extra_info["ae_benign_accuracy"] = round(ae_benign.metrics.accuracy, 4)
+    benchmark.extra_info["lstm_benign_accuracy"] = round(lstm_benign.metrics.accuracy, 4)
+    benchmark.extra_info["ae_attack_recall"] = round(ae_attack.metrics.recall or 0, 4)
+    benchmark.extra_info["lstm_attack_recall"] = round(lstm_attack.metrics.recall or 0, 4)
+    benchmark.extra_info["ae_event_recall"] = ae_attack.event_recall
+    benchmark.extra_info["lstm_event_recall"] = lstm_attack.event_recall
+
+    # Paper-shape checks.
+    assert ae_attack.event_recall == 1.0, "AE must detect every attack instance"
+    assert lstm_attack.event_recall == 1.0, "LSTM must detect every attack instance"
+    assert ae_benign.metrics.false_positive_rate < 0.10
+    assert lstm_benign.metrics.false_positive_rate < 0.10
+    assert ae_benign.metrics.accuracy >= lstm_benign.metrics.accuracy

@@ -1,0 +1,33 @@
+"""Bench E3 — regenerate Table 3 (LLM classification grid).
+
+Expected: the reproduced ✓/✗ grid matches the paper cell-for-cell —
+ChatGPT-4o misses only uplink identity extraction, Claude 3 Sonnet is the
+only model to catch it, Copilot only flags the signaling storm, and every
+model classifies both benign sequences correctly.
+"""
+
+from conftest import save_artifact
+
+from repro.experiments.table3 import MODEL_ORDER, Table3Config, run_table3
+
+
+def test_table3_llm_grid(benchmark, artifact_dir):
+    result = benchmark.pedantic(
+        lambda: run_table3(Table3Config()), rounds=1, iterations=1
+    )
+    text = result.render()
+    save_artifact(artifact_dir, "table3.txt", text)
+    print("\n" + text)
+
+    per_model_correct = {
+        model: sum(
+            1 for case in result.cases if result.grid[(case.name, model)]
+        )
+        for model in MODEL_ORDER
+    }
+    benchmark.extra_info["per_model_correct_of_7"] = per_model_correct
+    benchmark.extra_info["matches_paper_grid"] = result.matches_paper()
+
+    assert result.matches_paper(), "grid must match the paper's Table 3"
+    # ChatGPT-4o performs best: misses only one trace (§4.2).
+    assert per_model_correct["chatgpt-4o"] == 6

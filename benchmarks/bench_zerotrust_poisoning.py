@@ -1,0 +1,37 @@
+"""Bench Z1 — telemetry poisoning vs. zero-trust E2 (paper §5).
+
+Expected shape: replayed-footprint poisoning of the training telemetry on
+an *unprotected* E2 interface teaches MobiWatch that the signaling storm
+is normal (BTS DoS recall collapses), while HMAC-authenticated zero-trust
+E2 rejects every forged indication and preserves detection.
+"""
+
+from conftest import save_artifact
+
+from repro.experiments.poisoning import PoisoningConfig, run_poisoning_experiment
+
+
+def test_zerotrust_poisoning(benchmark, artifact_dir):
+    result = benchmark.pedantic(
+        lambda: run_poisoning_experiment(PoisoningConfig()), rounds=1, iterations=1
+    )
+    text = result.render()
+    save_artifact(artifact_dir, "zerotrust_poisoning.txt", text)
+    print("\n" + text)
+
+    benchmark.extra_info["unprotected_recall"] = round(
+        result.unprotected.bts_dos_recall, 3
+    )
+    benchmark.extra_info["zero_trust_recall"] = round(
+        result.zero_trust.bts_dos_recall, 3
+    )
+    benchmark.extra_info["forged_rejected"] = result.zero_trust.forged_indications_rejected
+
+    assert result.unprotected.bts_dos_recall < 0.5, "poisoning must bite"
+    assert result.zero_trust.bts_dos_recall > 0.8, "zero-trust must protect"
+    assert result.zero_trust.forged_indications_rejected > 0
+    # Every forged record was absorbed into the unprotected training set.
+    assert (
+        result.unprotected.records_collected - result.zero_trust.records_collected
+        == result.unprotected.forged_records_injected
+    )

@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harness.
+
+Every artifact bench regenerates one of the paper's tables/figures at full
+scale, saves the rendered text under ``benchmarks/out/``, and records the
+headline numbers in the pytest-benchmark ``extra_info`` so they appear in
+the benchmark report.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> pathlib.Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+def save_artifact(directory: pathlib.Path, name: str, text: str) -> pathlib.Path:
+    path = directory / name
+    path.write_text(text, encoding="utf-8")
+    return path

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Quickstart: detect a cellular attack end-to-end in under a minute.
+
+Walks the whole 6G-XSec story on a laptop:
+
+1. collect benign telemetry from a simulated 5G network (the paper's
+   testbed substitute),
+2. train the MobiWatch autoencoder on benign traffic only (via the SMO
+   train-then-deploy workflow),
+3. run live traffic with a BTS DoS attack through the full O-RAN pipeline
+   (E2 telemetry -> MobiWatch -> LLM expert referencing),
+4. print what was detected, explained, and why.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import SixGXSec, XsecConfig
+from repro.attacks import BtsDosAttack
+from repro.experiments import generate_benign_dataset
+from repro.experiments.datasets import BenignDatasetConfig
+from repro.ran.network import NetworkConfig
+
+
+def main() -> None:
+    config = XsecConfig(train_epochs=20)
+
+    print("1) Collecting benign telemetry from the simulated testbed ...")
+    benign = generate_benign_dataset(
+        BenignDatasetConfig(
+            duration_s=180.0,
+            ue_mix=(("pixel5", 1), ("galaxy_a53", 1), ("oai_ue", 2)),
+        )
+    )
+    labeled = benign.labeled(config.spec, config.window, "benign")
+    print(
+        f"   {benign.stats.sessions_completed} UE sessions, "
+        f"{len(benign.series)} MobiFlow records, "
+        f"{labeled.num_windows} training windows"
+    )
+
+    print("2) Training MobiWatch's autoencoder on benign traffic only ...")
+    xsec = SixGXSec(config, network_config=NetworkConfig(seed=42))
+    xsec.train_from_benign(labeled.windowed.windows)
+    print(f"   99th-percentile threshold = {xsec.mobiwatch.detector.threshold.threshold:.4f}")
+
+    print("3) Running live traffic with a BTS DoS attack ...")
+    ue = xsec.net.add_ue("pixel5")
+    xsec.net.sim.schedule(0.5, ue.start_session)
+    BtsDosAttack(xsec.net, start_time=3.0, connections=10, interval_s=0.08).arm()
+    xsec.run(until=30.0)
+
+    print("4) Results:")
+    summary = xsec.pipeline.summary()
+    print(f"   pipeline summary: {summary}")
+    for event in xsec.analyzer.verdicts[:1]:
+        response = event.verdict.response
+        print(f"   LLM ({event.verdict.model}) verdict: {response.verdict}")
+        print(f"   explanation: {response.explanation[:300]}...")
+        if response.top_attacks:
+            print(f"   top attack: {response.top_attacks[0][0]}")
+        for step in response.remediations[:2]:
+            print(f"   remediation: {step}")
+    latency = xsec.pipeline.latency_report()
+    print(
+        f"   detection latency: mean {1000 * latency['detection_s']['mean']:.0f} ms "
+        f"(near-RT budget is 10 ms - 1 s)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper in one run.
+
+Writes the rendered artifacts to ``./paper_artifacts/``:
+
+- table2.txt  — detection performance (Table 2)
+- figure4.txt — AE reconstruction-error patterns (Figure 4)
+- table3.txt  — LLM classification grid (Table 3)
+- figure5.txt — prompt template + example response (Figure 5)
+
+This is the long way around (~1-2 minutes); the benchmark harness under
+``benchmarks/`` regenerates the same artifacts with shape assertions.
+
+Run:  python examples/reproduce_paper.py
+"""
+
+import pathlib
+import time
+
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import run_table3
+
+OUT = pathlib.Path("paper_artifacts")
+
+
+def main() -> None:
+    OUT.mkdir(exist_ok=True)
+    jobs = (
+        ("table2.txt", lambda: run_table2().render()),
+        ("figure4.txt", lambda: run_figure4().render()),
+        ("table3.txt", lambda: run_table3().render()),
+        ("figure5.txt", lambda: run_figure5().render()),
+    )
+    for name, job in jobs:
+        started = time.time()
+        print(f"generating {name} ...", flush=True)
+        text = job()
+        (OUT / name).write_text(text + "\n", encoding="utf-8")
+        print(text)
+        print(f"  -> {OUT / name} ({time.time() - started:.0f}s)\n")
+
+
+if __name__ == "__main__":
+    main()

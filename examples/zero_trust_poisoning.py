@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Zero-trust O-RAN: defeating telemetry poisoning (paper §5).
+
+Scenario: an adversary with access to the E2 transport (a compromised
+transport switch, or a rogue E2 node) wants future attacks to go
+undetected. During MobiWatch's training-collection phase it injects forged
+MobiFlow indications replaying the footprint of its own BTS DoS tool, so
+the anomaly model learns the signaling storm as normal traffic.
+
+The same campaign runs against two deployments:
+
+- the default O-RAN setup, where E2 carries no message authentication;
+- a zero-trust deployment where every E2AP PDU is HMAC-sealed with
+  per-node keys and replay-protected nonces (repro.oran.zerotrust).
+
+Run:  python examples/zero_trust_poisoning.py   (~1 minute)
+"""
+
+from repro.experiments.poisoning import PoisoningConfig, run_poisoning_experiment
+
+
+def main() -> None:
+    print("Running both arms (unprotected and zero-trust E2) ...\n")
+    result = run_poisoning_experiment(PoisoningConfig())
+    print(result.render())
+    print()
+    unprotected = result.unprotected
+    protected = result.zero_trust
+    print("What happened:")
+    print(
+        f"- The rogue node injected {unprotected.forged_records_injected} forged "
+        "telemetry records mimicking its BTS DoS tool."
+    )
+    print(
+        "- Unprotected E2 accepted every forged indication; trained on that "
+        f"stream, MobiWatch's recall against a real BTS DoS fell to "
+        f"{100 * unprotected.bts_dos_recall:.0f}%."
+    )
+    print(
+        f"- Zero-trust E2 rejected all {protected.forged_indications_rejected} "
+        f"forged indications; recall stayed at {100 * protected.bts_dos_recall:.0f}%."
+    )
+
+
+if __name__ == "__main__":
+    main()

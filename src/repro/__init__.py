@@ -1,0 +1,37 @@
+"""6G-XSec reproduction: explainable edge security for O-RAN (HotNets '24).
+
+Top-level convenience API::
+
+    from repro import SixGXSec, XsecConfig
+    from repro.experiments import generate_benign_dataset
+
+    benign = generate_benign_dataset()
+    config = XsecConfig()
+    xsec = SixGXSec(config)
+    xsec.train_from_benign(
+        benign.labeled(config.spec, config.window, "benign").windowed.windows
+    )
+    xsec.run(until=60.0)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured results of every table and figure.
+"""
+
+__version__ = "0.1.0"
+
+
+def __getattr__(name):
+    # Lazy imports keep `import repro.wire` and friends cheap and avoid
+    # circular imports between the subpackages and this convenience API.
+    if name in ("SixGXSec", "XsecConfig"):
+        from repro import core
+
+        return getattr(core, name)
+    if name in ("FiveGNetwork", "NetworkConfig"):
+        from repro import ran
+
+        return getattr(ran, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+__all__ = ["SixGXSec", "XsecConfig", "FiveGNetwork", "NetworkConfig", "__version__"]

@@ -1,0 +1,57 @@
+"""The five end-to-end cellular attacks evaluated by the paper (§4).
+
+Each attack is implemented against the simulated RAN exactly the way the
+paper implements them against OAI: either as malicious logic in the UE stack
+(rogue UE) or as an over-the-air man-in-the-middle (overshadowing). Every
+attack carries its own ground truth — a predicate over MobiFlow records used
+by the paper's labeling rules (§4, *Dataset Labeling*).
+
+==============================  ==========================================
+Attack                          Manifestation in telemetry
+==============================  ==========================================
+BTS DoS [38]                    flood of fresh RNTIs, sessions abandoned
+                                at the authentication stage
+Blind DoS [38]                  the victim's S-TMSI replayed across many
+                                short sessions; victim keeps dropping
+Uplink ID extraction [32]       standard-compliant registration whose SUCI
+                                is null-scheme (plaintext IMSI)
+Downlink ID extraction [40]     out-of-order IdentityResponse (plaintext
+                                SUPI) where an AuthenticationResponse was
+                                expected
+Null cipher & integrity [37]    Security Mode Command selecting NEA0/NIA0
+==============================  ==========================================
+"""
+
+from repro.attacks.base import Attack, RogueUe
+from repro.attacks.bts_dos import BtsDosAttack
+from repro.attacks.blind_dos import BlindDosAttack
+from repro.attacks.uplink_id_extraction import UplinkIdExtractionAttack
+from repro.attacks.downlink_id_extraction import DownlinkIdExtractionAttack
+from repro.attacks.null_cipher import NullCipherAttack
+from repro.attacks.challenge_forgery import ChallengeForgeryAttack
+from repro.attacks.limitations import (
+    DownlinkMessageDropAttack,
+    RogueBaseStationAttack,
+)
+
+ALL_ATTACKS = (
+    BtsDosAttack,
+    BlindDosAttack,
+    UplinkIdExtractionAttack,
+    DownlinkIdExtractionAttack,
+    NullCipherAttack,
+)
+
+__all__ = [
+    "Attack",
+    "RogueUe",
+    "BtsDosAttack",
+    "BlindDosAttack",
+    "UplinkIdExtractionAttack",
+    "DownlinkIdExtractionAttack",
+    "NullCipherAttack",
+    "ChallengeForgeryAttack",
+    "DownlinkMessageDropAttack",
+    "RogueBaseStationAttack",
+    "ALL_ATTACKS",
+]

@@ -1,0 +1,99 @@
+"""Attack framework: rogue UEs, MiTM hooks, and ground-truth labeling."""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Set, TYPE_CHECKING
+
+from repro.ran.network import FiveGNetwork
+from repro.ran.rrc import RrcState
+from repro.ran.ue import UserEquipment
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.mobiflow import MobiFlowRecord
+
+
+class Attack(abc.ABC):
+    """Base class for the five evaluated attacks.
+
+    Lifecycle: construct with the target network, then :meth:`arm` to
+    schedule the malicious activity, run the simulation, and afterwards use
+    :meth:`is_malicious` to label telemetry entries (the ground truth the
+    paper derives by manual inspection).
+    """
+
+    #: Short machine name (used in dataset labels and reports).
+    name: str = "attack"
+    #: Human description shown in reports.
+    description: str = ""
+    #: Literature reference ([N] numbering follows the paper).
+    citation: str = ""
+
+    def __init__(self, net: FiveGNetwork, start_time: float = 0.0) -> None:
+        self.net = net
+        self.start_time = start_time
+        self.armed = False
+        # RNTIs observed bound to UEs this attack controls.
+        self.malicious_rntis: Set[int] = set()
+        # Time window of over-the-air manipulation (MiTM attacks).
+        self.window_start: Optional[float] = None
+        self.window_end: Optional[float] = None
+
+    def arm(self) -> None:
+        """Schedule the attack to begin at ``start_time``."""
+        if self.armed:
+            raise RuntimeError(f"{self.name} already armed")
+        self.armed = True
+        self.net.sim.schedule_at(self.start_time, self._launch, name=f"attack.{self.name}")
+
+    @abc.abstractmethod
+    def _launch(self) -> None:
+        """Begin malicious activity (called at ``start_time``)."""
+
+    def _track_rogue_ue(self, rogue: UserEquipment) -> None:
+        """Record every RNTI the network binds to ``rogue``."""
+
+        def listener(rnti: int, ue: UserEquipment) -> None:
+            if ue is rogue:
+                self.malicious_rntis.add(rnti)
+
+        self.net.channel.add_bind_listener(listener)
+
+    def _open_window(self) -> None:
+        self.window_start = self.net.sim.now
+
+    def _close_window(self) -> None:
+        self.window_end = self.net.sim.now
+
+    def in_window(self, timestamp: float) -> bool:
+        if self.window_start is None:
+            return False
+        end = self.window_end if self.window_end is not None else float("inf")
+        return self.window_start <= timestamp <= end
+
+    def is_malicious(self, record: "MobiFlowRecord") -> bool:
+        """Ground-truth label for one telemetry entry.
+
+        Default rule: any entry on an RNTI the attacker controlled.
+        MiTM attacks override this with message-level predicates.
+        """
+        return record.rnti is not None and record.rnti in self.malicious_rntis
+
+
+class RogueUe(UserEquipment):
+    """A UE running attacker-modified stack logic.
+
+    Adds the ability to *abandon* a connection: silently stop responding and
+    reset local state so a fresh access can begin immediately — the network
+    side is left to time out, exactly what an SDR-based attacker does.
+    """
+
+    def abandon_connection(self) -> None:
+        self._cancel_t300()
+        self.rrc_state = RrcState.IDLE
+        self.rnti = None
+        self._session_active = False
+
+    def _begin_registered_activity(self) -> None:
+        # Rogue UEs do not emit benign background traffic by default.
+        pass

@@ -1,0 +1,126 @@
+"""Blind DoS — victim S-TMSI replay (Kim et al., S&P'19).
+
+The attacker sniffs a victim's 5G-S-TMSI (e.g. from paging) and repeatedly
+opens RRC connections claiming that identity. The network, believing the UE
+re-accessed, tears down the victim's legitimate connection each time —
+denial of service without ever touching the victim's radio. The telemetry
+signature is the *same temporary identity replayed across many short
+sessions*, the "replayed TMSI numbers in different UE sessions" relation the
+paper notes some LLMs can extract (§4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.attacks.base import Attack, RogueUe
+from repro.ran.nas import AuthenticationRequest, IdentityRequest, ServiceRequest
+from repro.ran.network import FiveGNetwork
+from repro.ran.rrc import RrcSetup, RrcSetupComplete, RrcSetupRequest, RrcState
+from repro.ran.ue import T300_S, UeProfile, UserEquipment
+
+ATTACKER_PROFILE = UeProfile(
+    name="blind_dos_attacker",
+    proc_delay_min_s=0.004,
+    proc_delay_max_s=0.012,
+    deregister_prob=0.0,
+)
+
+
+class TmsiReplayUe(RogueUe):
+    """Rogue UE replaying a sniffed S-TMSI on every access."""
+
+    victim_s_tmsi: int = 0
+
+    def start_replays(self, replays: int, interval_s: float) -> None:
+        self._remaining = replays
+        self._interval_s = interval_s
+        self._next_replay()
+
+    def _next_replay(self) -> None:
+        if self._remaining <= 0:
+            return
+        self._remaining -= 1
+        if self.rrc_state is not RrcState.IDLE:
+            self.abandon_connection()
+        self.sessions_started += 1
+        self._t300_retries = 0
+        self._send_setup_request()
+
+    def _send_setup_request(self) -> None:
+        request = RrcSetupRequest(
+            ue_identity=self.victim_s_tmsi,
+            identity_is_tmsi=True,
+        )
+        self.channel.uplink(self, None, request)
+        self._t300 = self.schedule(T300_S, self._on_t300, name=f"{self.name}.t300")
+
+    def _on_RrcSetup(self, rnti: int, message: RrcSetup) -> None:
+        if self.rrc_state is RrcState.CONNECTED:
+            return
+        self._cancel_t300()
+        self.rrc_state = RrcState.CONNECTED
+        self.rnti = rnti
+        service_request = ServiceRequest(s_tmsi=self.victim_s_tmsi)
+        complete = RrcSetupComplete(nas_pdu=service_request.to_wire())
+        self.schedule(self._proc_delay(), lambda: self.send_uplink_rrc(complete))
+
+    def _on_nas_AuthenticationRequest(self, nas: AuthenticationRequest) -> None:
+        # The damage (victim release) is done; bail and replay again.
+        self._finish_replay()
+
+    def _on_nas_IdentityRequest(self, nas: IdentityRequest) -> None:
+        # Network could not resolve the TMSI; attacker cannot answer anyway.
+        self._finish_replay()
+
+    def _finish_replay(self) -> None:
+        self.abandon_connection()
+        jitter = self.rng.uniform(0.8, 1.2)
+        self.schedule(self._interval_s * jitter, self._next_replay)
+
+    def _on_t300(self) -> None:
+        if self.rrc_state is RrcState.IDLE:
+            self._finish_replay()
+
+
+class BlindDosAttack(Attack):
+    """Repeatedly hijack a victim's temporary identity to drop it offline."""
+
+    name = "blind_dos"
+    description = "S-TMSI replay forcing repeated release of the victim's connection"
+    citation = "[38] Kim et al., Touching the Untouchables, IEEE S&P 2019"
+
+    # How long to keep waiting for the victim to obtain an S-TMSI.
+    VICTIM_POLL_S = 0.25
+    VICTIM_POLL_LIMIT = 120
+
+    def __init__(
+        self,
+        net: FiveGNetwork,
+        victim: UserEquipment,
+        start_time: float = 0.0,
+        replays: int = 8,
+        interval_s: float = 2.0,
+    ) -> None:
+        super().__init__(net, start_time)
+        self.victim = victim
+        self.replays = replays
+        self.interval_s = interval_s
+        self.rogue: Optional[TmsiReplayUe] = None
+        self._polls = 0
+
+    def _launch(self) -> None:
+        if self.victim.s_tmsi is None:
+            # The victim has not registered yet; keep sniffing.
+            self._polls += 1
+            if self._polls > self.VICTIM_POLL_LIMIT:
+                raise RuntimeError("blind DoS victim never obtained an S-TMSI")
+            self.net.sim.schedule(self.VICTIM_POLL_S, self._launch)
+            return
+        self._open_window()
+        self.rogue = self.net.add_ue(
+            ATTACKER_PROFILE, name=f"{self.name}-rogue", ue_class=TmsiReplayUe
+        )
+        self.rogue.victim_s_tmsi = self.victim.s_tmsi
+        self._track_rogue_ue(self.rogue)
+        self.rogue.start_replays(self.replays, self.interval_s)

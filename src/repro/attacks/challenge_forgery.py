@@ -1,0 +1,82 @@
+"""Challenge forgery — a rogue network impersonation probe (extension).
+
+An over-the-air MiTM without the subscriber key overwrites downlink
+authentication challenges toward victims (the first step of network
+impersonation). Hardened UEs with AUTN verification answer every forged
+challenge with ``AuthenticationFailure (MAC failure)``, so the network-side
+signature is a burst of authentication failures across sessions — a message
+that essentially never appears in benign traffic.
+
+This attack exercises the AUTN verification / SQN freshness machinery the
+reproduction adds beyond the paper's five attacks, and plays the "novel
+attack" role in the specialized-LLM story: none of the Table 3 models'
+zero-shot profiles perceive it; only the fine-tuned cellular model names it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.attacks.base import Attack
+from repro.ran.messages import Message
+from repro.ran.nas import AuthenticationRequest
+from repro.ran.network import FiveGNetwork
+from repro.ran.rrc import RrcDlInformationTransfer
+
+if False:  # pragma: no cover - typing only
+    from repro.telemetry.mobiflow import MobiFlowRecord
+
+
+class ChallengeForgeryAttack(Attack):
+    """Overwrite downlink authentication challenges with forged ones."""
+
+    name = "challenge_forgery"
+    description = "MiTM forges AuthenticationRequests; UEs answer with MAC failures"
+    citation = "extension; cf. TS 33.501 5G-AKA home-control and [27] IMSI-catcher catching"
+
+    def __init__(
+        self,
+        net: FiveGNetwork,
+        start_time: float = 0.0,
+        duration_s: float = 20.0,
+    ) -> None:
+        super().__init__(net, start_time)
+        self.duration_s = duration_s
+        self.challenges_forged = 0
+        self._forged_rntis: set[int] = set()
+        self._installed = False
+
+    def _launch(self) -> None:
+        self._open_window()
+        self.net.channel.add_downlink_interceptor(self._forge)
+        self._installed = True
+        self.net.sim.schedule(self.duration_s, self._stop)
+
+    def _stop(self) -> None:
+        if self._installed:
+            self.net.channel.remove_downlink_interceptor(self._forge)
+            self._installed = False
+        self._close_window()
+
+    def _forge(self, rnti: int, message: Message) -> Optional[Message]:
+        if not isinstance(message, RrcDlInformationTransfer):
+            return message
+        nas = Message.from_wire(message.nas_pdu)
+        if not isinstance(nas, AuthenticationRequest):
+            return message
+        self.challenges_forged += 1
+        self._forged_rntis.add(rnti)
+        forged = AuthenticationRequest(
+            rand=b"\xf0" * 16,  # the impersonator has no subscriber key
+            autn=b"\x0f" * 16,
+            sqn=nas.sqn,
+        )
+        return RrcDlInformationTransfer(nas_pdu=forged.to_wire())
+
+    def is_malicious(self, record: "MobiFlowRecord") -> bool:
+        """Ground truth: the MAC-failure responses the forgeries provoke."""
+        return (
+            self.in_window(record.timestamp)
+            and record.msg == "AuthenticationFailure"
+            and record.rnti in self._forged_rntis
+        )

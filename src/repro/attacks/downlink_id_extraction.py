@@ -1,0 +1,88 @@
+"""Downlink identity extraction (LTrack, [40]; paper Figure 2a).
+
+A man-in-the-middle overwrites the downlink AuthenticationRequest with an
+IdentityRequest demanding the permanent identifier. The victim UE — whose
+baseband answers pre-security identity procedures — replies with a plaintext
+SUPI. The network-side telemetry therefore shows an **out-of-order
+sequence**: AuthenticationRequest followed by IdentityResponse where an
+AuthenticationResponse belongs (the univariate anomaly of Figure 2a).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.attacks.base import Attack
+from repro.ran.messages import Message
+from repro.ran.nas import AuthenticationRequest, IdentityRequest, IdentityType
+from repro.ran.network import FiveGNetwork
+from repro.ran.rrc import RrcDlInformationTransfer
+from repro.ran.ue import UserEquipment
+
+if False:  # pragma: no cover - typing only
+    from repro.telemetry.mobiflow import MobiFlowRecord
+
+
+class DownlinkIdExtractionAttack(Attack):
+    """Overwrite one downlink AuthenticationRequest with IdentityRequest(SUPI)."""
+
+    name = "downlink_id_extraction"
+    description = "downlink overwrite: auth request -> identity request, UE leaks SUPI"
+    citation = "[40] Kotuliak et al., LTrack, USENIX Security 2022"
+
+    def __init__(
+        self,
+        net: FiveGNetwork,
+        victim: UserEquipment,
+        start_time: float = 0.0,
+        duration_s: float = 30.0,
+        shots: int = 1,
+    ) -> None:
+        super().__init__(net, start_time)
+        self.victim = victim
+        self.duration_s = duration_s
+        self.shots_left = shots
+        self.extracted_supis: list[str] = []
+        self._victim_rntis: set[int] = set()
+        self._interceptor_installed = False
+
+    def _launch(self) -> None:
+        self._open_window()
+        self.net.channel.add_bind_listener(self._on_bind)
+        # Seed with the RNTI the victim may already hold.
+        if self.victim.rnti is not None:
+            self._victim_rntis.add(self.victim.rnti)
+        self.net.channel.add_downlink_interceptor(self._overwrite)
+        self._interceptor_installed = True
+        self.net.sim.schedule(self.duration_s, self._stop)
+
+    def _on_bind(self, rnti: int, ue: UserEquipment) -> None:
+        if ue is self.victim:
+            self._victim_rntis.add(rnti)
+
+    def _stop(self) -> None:
+        if self._interceptor_installed:
+            self.net.channel.remove_downlink_interceptor(self._overwrite)
+            self._interceptor_installed = False
+        self._close_window()
+
+    def _overwrite(self, rnti: int, message: Message) -> Optional[Message]:
+        if self.shots_left <= 0 or rnti not in self._victim_rntis:
+            return message
+        if not isinstance(message, RrcDlInformationTransfer):
+            return message
+        nas = Message.from_wire(message.nas_pdu)
+        if not isinstance(nas, AuthenticationRequest):
+            return message
+        self.shots_left -= 1
+        self.extracted_supis.append(str(self.victim.supi))
+        injected = IdentityRequest(identity_type=IdentityType.SUPI)
+        return RrcDlInformationTransfer(nas_pdu=injected.to_wire())
+
+    def is_malicious(self, record: "MobiFlowRecord") -> bool:
+        return (
+            self.in_window(record.timestamp)
+            and record.msg == "IdentityResponse"
+            and record.supi is not None
+            and record.rnti in self._victim_rntis
+        )

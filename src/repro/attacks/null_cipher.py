@@ -1,0 +1,95 @@
+"""Null cipher & integrity — security downgrade (5GReasoner, [37]).
+
+A modified UE advertises *only* the null algorithms (NEA0/NIA0) in its
+security capabilities. A permissive network (OAI accepts this) completes
+registration with no ciphering and no integrity protection — every
+subsequent NAS/AS message is attackable. The telemetry signature is a
+Security Mode Command whose ``cipher_alg``/``integrity_alg`` state
+parameters are 0, a state anomaly rather than a sequence anomaly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.attacks.base import Attack, RogueUe
+from repro.ran.nas import DeregistrationRequest, FiveGmmState
+from repro.ran.network import FiveGNetwork
+from repro.ran.security import CipherAlg, IntegrityAlg
+from repro.ran.ue import UeProfile
+
+NULL_ONLY_PROFILE = UeProfile(
+    name="null_cipher_attacker",
+    cipher_caps=(CipherAlg.NEA0,),
+    integrity_caps=(IntegrityAlg.NIA0,),
+    proc_delay_min_s=0.006,
+    proc_delay_max_s=0.02,
+    deregister_prob=1.0,
+)
+
+
+class NullCipherUe(RogueUe):
+    """Rogue UE that bids down to null security and then acts 'normal'."""
+
+    LINGER_S = 0.4
+
+    def _on_nas_RegistrationAccept(self, nas) -> None:  # type: ignore[override]
+        super()._on_nas_RegistrationAccept(nas)
+        # Registered with null security; linger briefly, then leave cleanly.
+        self.schedule(self.LINGER_S, self._leave)
+
+    def _leave(self) -> None:
+        if self.fivegmm_state is FiveGmmState.REGISTERED:
+            self.fivegmm_state = FiveGmmState.DEREGISTERED_INITIATED
+            self.send_uplink_nas(DeregistrationRequest(switch_off=False))
+
+
+class NullCipherAttack(Attack):
+    """Complete a registration with NEA0/NIA0 via capability bidding-down."""
+
+    name = "null_cipher"
+    description = "UE bids down to null ciphering and integrity (NEA0/NIA0)"
+    citation = "[37] Hussain et al., 5GReasoner, CCS 2019"
+
+    def is_malicious(self, record) -> bool:
+        """The malicious entries are the null-security negotiations.
+
+        The rest of the rogue session is byte-for-byte standard registration
+        traffic; what the paper's manual labeling marks as malicious is the
+        security-mode downgrade itself (a *state* anomaly, §2.2).
+        """
+        if record.rnti is None or record.rnti not in self.malicious_rntis:
+            return False
+        return record.cipher_alg == 0 or record.integrity_alg == 0
+
+    def __init__(
+        self,
+        net: FiveGNetwork,
+        start_time: float = 0.0,
+        registrations: int = 1,
+        interval_s: float = 1.0,
+    ) -> None:
+        super().__init__(net, start_time)
+        self.registrations = registrations
+        self.interval_s = interval_s
+        self.rogue: Optional[NullCipherUe] = None
+
+    def _launch(self) -> None:
+        self._open_window()
+        self.rogue = self.net.add_ue(
+            NULL_ONLY_PROFILE, name=f"{self.name}-rogue", ue_class=NullCipherUe
+        )
+        self._track_rogue_ue(self.rogue)
+        self._next_registration(self.registrations)
+
+    def _next_registration(self, remaining: int) -> None:
+        if remaining <= 0 or self.rogue is None:
+            return
+        rogue = self.rogue
+
+        def on_end(ue, outcome: str) -> None:
+            self.net.sim.schedule(
+                self.interval_s, lambda: self._next_registration(remaining - 1)
+            )
+
+        rogue.start_session(on_end=on_end)

@@ -1,0 +1,83 @@
+"""Uplink identity extraction — adaptive overshadowing (AdaptOver, [32]).
+
+The attacker overshadows the victim's *uplink* registration, rewriting the
+concealed SUCI into the null concealment scheme so the permanent identifier
+(IMSI digits) is transmitted in plaintext over the air, where the attacker
+captures it. Crucially, the resulting message sequence is **fully standard
+compliant** — a null-scheme SUCI is legal — which is why the paper finds
+this the hardest attack for LLM analysts to flag (§4.2, Table 3).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.attacks.base import Attack
+from repro.ran.messages import Message
+from repro.ran.nas import RegistrationRequest
+from repro.ran.network import FiveGNetwork
+from repro.ran.rrc import RrcSetupComplete
+from repro.ran.ue import UserEquipment
+
+if False:  # pragma: no cover - typing only
+    from repro.telemetry.mobiflow import MobiFlowRecord
+
+
+class UplinkIdExtractionAttack(Attack):
+    """Overshadow the victim's uplink SUCI down to the null scheme."""
+
+    name = "uplink_id_extraction"
+    description = "uplink overshadowing downgrades SUCI concealment to plaintext IMSI"
+    citation = "[32] Erni et al., AdaptOver, MobiCom 2022"
+
+    def __init__(
+        self,
+        net: FiveGNetwork,
+        victim: UserEquipment,
+        start_time: float = 0.0,
+        duration_s: float = 30.0,
+    ) -> None:
+        super().__init__(net, start_time)
+        self.victim = victim
+        self.duration_s = duration_s
+        self.extractions = 0
+        self._interceptor_installed = False
+
+    def _launch(self) -> None:
+        self._open_window()
+        self.net.channel.add_uplink_interceptor(self._overshadow)
+        self._interceptor_installed = True
+        self.net.sim.schedule(self.duration_s, self._stop)
+
+    def _stop(self) -> None:
+        if self._interceptor_installed:
+            self.net.channel.remove_uplink_interceptor(self._overshadow)
+            self._interceptor_installed = False
+        self._close_window()
+
+    def _overshadow(
+        self, ue: UserEquipment, rnti: Optional[int], message: Message
+    ) -> Optional[Message]:
+        if ue is not self.victim or not isinstance(message, RrcSetupComplete):
+            return message
+        nas = Message.from_wire(message.nas_pdu)
+        if not isinstance(nas, RegistrationRequest) or not nas.suci:
+            return message
+        if nas.suci.startswith("suci-null-"):
+            return message
+        supi = self.victim.supi
+        nas.suci = f"suci-null-{supi.mcc}-{supi.mnc}-{supi.msin}"
+        self.extractions += 1
+        return RrcSetupComplete(
+            rrc_transaction_id=message.rrc_transaction_id,
+            selected_plmn=message.selected_plmn,
+            nas_pdu=nas.to_wire(),
+        )
+
+    def is_malicious(self, record: "MobiFlowRecord") -> bool:
+        return (
+            self.in_window(record.timestamp)
+            and record.msg == "RegistrationRequest"
+            and bool(record.suci)
+            and record.suci.startswith("suci-null-")
+        )

@@ -1,0 +1,27 @@
+"""6G-XSec core: the paper's primary contribution, assembled.
+
+- :mod:`.config` — framework configuration
+- :mod:`.mobiwatch` — the MobiWatch unsupervised anomaly-detection xApp
+- :mod:`.llm_analyzer` — the LLM expert-referencing xApp
+- :mod:`.pipeline` — detect -> explain -> respond closed loop with human
+  supervision on contradictions
+- :mod:`.framework` — one-call assembly of the full Figure 3 system on a
+  simulated network
+"""
+
+from repro.core.config import XsecConfig
+from repro.core.mobiwatch import AnomalyEvent, MobiWatchXApp
+from repro.core.llm_analyzer import LlmAnalyzerXApp, VerdictEvent
+from repro.core.pipeline import ClosedLoopPipeline, IncidentRecord
+from repro.core.framework import SixGXSec
+
+__all__ = [
+    "XsecConfig",
+    "AnomalyEvent",
+    "MobiWatchXApp",
+    "LlmAnalyzerXApp",
+    "VerdictEvent",
+    "ClosedLoopPipeline",
+    "IncidentRecord",
+    "SixGXSec",
+]

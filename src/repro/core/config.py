@@ -1,0 +1,51 @@
+"""Framework configuration for 6G-XSec."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.telemetry.features import FeatureSpec
+
+
+@dataclass
+class XsecConfig:
+    """All the knobs of the deployed framework (defaults match §4)."""
+
+    # Telemetry featurization.
+    spec: FeatureSpec = field(default_factory=FeatureSpec)
+    window: int = 6
+
+    # Detection (paper §4.1: 99th-percentile threshold; the LSTM's per-step
+    # scores use a slightly lower operating point, see EXPERIMENTS.md).
+    detector: str = "autoencoder"  # "autoencoder" | "lstm"
+    threshold_percentile: float = 99.0
+    ae_hidden_dim: int = 128
+    ae_latent_dim: int = 24
+    lstm_hidden_dim: int = 64
+    train_epochs: int = 50
+    train_lr: float = 2e-3
+    seed: int = 7
+
+    # E2 reporting.
+    report_period_s: float = 0.1
+
+    # MobiWatch live-history cap (records kept for featurization state).
+    history_cap: int = 20000
+
+    # LLM expert referencing.
+    llm_model: str = "chatgpt-4o"
+    llm_use_rag: bool = False
+    # Cooldown before re-querying the LLM about the same session (the LLM
+    # is the expensive stage; MobiWatch is the pre-filter).
+    llm_session_cooldown_s: float = 30.0
+    # Context entries included around a flagged window.
+    llm_context_records: int = 40
+
+    # Automated responses (paper §5, Automated Network Responses).
+    auto_release: bool = False
+    auto_blocklist: bool = False
+    # dApp-style radio control: cap the setup-request rate at the DU when a
+    # signaling storm is confirmed (effective against RNTI-hopping floods).
+    auto_rate_limit: bool = False
+    rate_limit_max_setups: int = 3
+    rate_limit_window_s: float = 1.0

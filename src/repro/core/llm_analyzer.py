@@ -1,0 +1,134 @@
+"""The LLM analyzer xApp (paper §3.3, Figure 3).
+
+Receives anomaly events from MobiWatch over RMR, builds the Figure 5
+prompt from the flagged sequence plus context, queries the configured LLM
+through the REST-style client (with the provider's simulated response
+latency), parses the text into classification / explanation / attribution
+/ remediation, cross-compares with the detector's verdict (contradictions
+escalate to human supervision), and publishes verdict events for the
+closed-loop responder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.config import XsecConfig
+from repro.core.mobiwatch import XSEC_ANOMALY_MTYPE, AnomalyEvent, MobiWatchXApp
+from repro.llm.analyst import ExpertAnalyst, ExpertVerdict
+from repro.llm.client import LlmClient, SimulatedLlmServer
+from repro.oran.xapp import XApp
+
+SDL_VERDICT_NS = "xsec.verdicts"
+
+VerdictCallback = Callable[["VerdictEvent"], None]
+
+
+@dataclass(frozen=True)
+class VerdictEvent:
+    """Analyzer output for one anomaly event."""
+
+    anomaly: AnomalyEvent
+    verdict: ExpertVerdict
+    completed_at: float
+
+    @property
+    def confirmed(self) -> bool:
+        """LLM agrees with MobiWatch that the sequence is anomalous."""
+        return self.verdict.response.is_anomalous
+
+    @property
+    def needs_human_review(self) -> bool:
+        return self.verdict.needs_human_review
+
+
+class LlmAnalyzerXApp(XApp):
+    """Expert-referencing xApp chained behind MobiWatch."""
+
+    def __init__(
+        self,
+        ric,
+        mobiwatch: MobiWatchXApp,
+        server: Optional[SimulatedLlmServer] = None,
+        config: Optional[XsecConfig] = None,
+        name: str = "llm-analyzer",
+    ) -> None:
+        super().__init__(ric, name)
+        self.config = config or XsecConfig()
+        self.mobiwatch = mobiwatch
+        self.server = server or SimulatedLlmServer()
+        self.analyst = ExpertAnalyst(
+            client=LlmClient(server=self.server, model=self.config.llm_model),
+            use_rag=self.config.llm_use_rag,
+        )
+        self.verdicts: list[VerdictEvent] = []
+        self.human_review_queue: list[VerdictEvent] = []
+        self._callbacks: list[VerdictCallback] = []
+        self._session_last_query: dict[int, float] = {}
+        self.queries_sent = 0
+        self.queries_suppressed = 0
+
+    def start(self) -> None:
+        super().start()
+        # Receive MobiWatch's anomaly events.
+        self.ric.rmr.add_route(XSEC_ANOMALY_MTYPE, self.name)
+
+    def on_verdict(self, callback: VerdictCallback) -> None:
+        self._callbacks.append(callback)
+
+    # -- RMR ----------------------------------------------------------------
+
+    def on_message(self, mtype: int, sub_id: int, payload) -> None:
+        if mtype == XSEC_ANOMALY_MTYPE and isinstance(payload, AnomalyEvent):
+            self._on_anomaly(payload)
+        else:
+            super().on_message(mtype, sub_id, payload)
+
+    # -- analysis -----------------------------------------------------------------
+
+    def _on_anomaly(self, event: AnomalyEvent) -> None:
+        # MobiWatch is the pre-filter; the LLM is rate-limited per session
+        # because each query is expensive (§3.3).
+        last = self._session_last_query.get(event.session_id)
+        if last is not None and self.now - last < self.config.llm_session_cooldown_s:
+            self.queries_suppressed += 1
+            return
+        self._session_last_query[event.session_id] = self.now
+        records = self.mobiwatch.context_for(
+            event, max_records=self.config.llm_context_records
+        )
+        self.queries_sent += 1
+        # Simulate the web-API round trip: the verdict lands after the
+        # provider's response latency.
+        prompt_probe = "".join(r.msg for r in records)
+        latency = self.server.latency_for(self.config.llm_model, prompt_probe)
+        self.schedule(
+            latency, lambda: self._complete(event, records), name=f"{self.name}.llm"
+        )
+
+    def _complete(self, event: AnomalyEvent, records) -> None:
+        verdict = self.analyst.analyze(records, detector_flagged=True)
+        result = VerdictEvent(anomaly=event, verdict=verdict, completed_at=self.now)
+        self.verdicts.append(result)
+        self.sdl.set(
+            SDL_VERDICT_NS,
+            f"{len(self.verdicts):06d}",
+            {
+                "session": event.session_id,
+                "model": verdict.model,
+                "verdict": verdict.response.verdict,
+                "top_attack": (
+                    verdict.response.top_attacks[0][0]
+                    if verdict.response.top_attacks
+                    else ""
+                ),
+                "needs_human_review": verdict.needs_human_review,
+                "completed_at": result.completed_at,
+            },
+        )
+        if result.needs_human_review:
+            # Contradictory results require human supervision (§3.3).
+            self.human_review_queue.append(result)
+        for callback in self._callbacks:
+            callback(result)

@@ -1,0 +1,232 @@
+"""MobiWatch: the unsupervised anomaly-detection xApp (paper §3.2).
+
+Subscribes to the MobiFlow-extended KPM service model, stores incoming
+telemetry in the SDL, featurizes the stream, and scores each session's
+most recent window with the deployed detector. Sessions whose window score
+exceeds the trained threshold produce :class:`AnomalyEvent`\\ s, routed over
+RMR to the LLM analyzer xApp (the pre-filter/expensive-expert chain of
+§3.3).
+
+The deployed model arrives via the SMO train-then-deploy workflow
+(Figure 3: "Train -> Deploy"); until a model is deployed the xApp only
+accumulates telemetry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import XsecConfig
+from repro.ml.detector import AnomalyDetector
+from repro.oran.e2ap import ActionType, RicIndication
+from repro.oran.e2sm_kpm import (
+    ACTION_BLOCKLIST_TMSI,
+    ACTION_RATE_LIMIT_ACCESS,
+    ACTION_RELEASE_UE,
+    MOBIFLOW_RAN_FUNCTION_ID,
+    MobiFlowKpmModel,
+    MobiFlowReportStyle,
+)
+from repro.oran.xapp import XApp
+from repro.telemetry.mobiflow import MobiFlowRecord, TelemetrySeries
+
+# RMR message type for anomaly events toward the analyzer xApp.
+XSEC_ANOMALY_MTYPE = 60001
+
+SDL_TELEMETRY_NS = "xsec.mobiflow"
+SDL_ANOMALY_NS = "xsec.anomalies"
+
+
+@dataclass(frozen=True)
+class AnomalyEvent:
+    """One flagged telemetry window."""
+
+    detected_at: float
+    session_id: int
+    rnti: Optional[int]
+    s_tmsi: Optional[int]
+    score: float
+    threshold: float
+    # Indices into MobiWatch's record history covered by the window.
+    record_indices: tuple
+    # Timestamp of the newest telemetry entry in the window.
+    newest_record_ts: float = 0.0
+
+
+class MobiWatchXApp(XApp):
+    """Unsupervised anomaly detection over live security telemetry."""
+
+    def __init__(self, ric, config: Optional[XsecConfig] = None, name: str = "mobiwatch") -> None:
+        super().__init__(ric, name)
+        self.config = config or XsecConfig()
+        self.detector: Optional[AnomalyDetector] = None
+        self.series = TelemetrySeries()
+        self._encoder = self.config.spec.streaming_encoder()
+        self._rows: list[np.ndarray] = []
+        self._session_records: dict[int, list[int]] = {}
+        self._alerted_counts: dict[int, int] = {}
+        self.records_seen = 0
+        self.windows_scored = 0
+        self.anomalies: list[AnomalyEvent] = []
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        super().start()
+        trigger = MobiFlowKpmModel.encode_event_trigger(
+            MobiFlowReportStyle(self.config.report_period_s).to_trigger()
+        )
+        self.subscribe(MOBIFLOW_RAN_FUNCTION_ID, trigger, ActionType.REPORT)
+
+    def deploy_detector(self, detector: AnomalyDetector) -> None:
+        """Install a trained model (called by the SMO deploy step)."""
+        if detector.threshold.threshold is None:
+            raise ValueError("detector must be fitted before deployment")
+        self.detector = detector
+
+    # -- policy (A1) -----------------------------------------------------------
+
+    def on_policy(self, policy_type_id: int, policy: dict) -> None:
+        """Detection-policy updates: re-fit the operating threshold."""
+        percentile = policy.get("threshold_percentile")
+        if percentile is not None and self.detector is not None:
+            if self.detector.training_scores is None:
+                self.log("policy ignored: no training scores retained")
+                return
+            self.detector.threshold.percentile = float(percentile)
+            self.detector.threshold.fit(self.detector.training_scores)
+            self.log(f"threshold re-fit at percentile {percentile}")
+
+    # -- telemetry ingestion -------------------------------------------------------
+
+    def on_indication(self, indication: RicIndication) -> None:
+        records = MobiFlowKpmModel.decode_indication(
+            indication.indication_header, indication.indication_message
+        )
+        touched: list[int] = []
+        for record in records:
+            index = len(self.series)
+            if index and record.timestamp < self.series[index - 1].timestamp:
+                # Batches from different report intervals can interleave
+                # slightly; process in arrival order, clamping the clock.
+                import dataclasses
+
+                record = dataclasses.replace(
+                    record, timestamp=self.series[index - 1].timestamp
+                )
+            self.series.append(record)
+            self._rows.append(self._encoder.push(record))
+            self.sdl.set(SDL_TELEMETRY_NS, f"{index:09d}", _record_value(record))
+            self.records_seen += 1
+            if record.session_id:
+                self._session_records.setdefault(record.session_id, []).append(index)
+                touched.append(record.session_id)
+        if self.detector is not None:
+            for session_id in dict.fromkeys(touched):
+                self._score_session(session_id)
+
+    # -- scoring ------------------------------------------------------------------------
+
+    # A session shorter than the window is scored (left-padded) only after
+    # it has gone quiet for this long: an in-flight registration is not an
+    # "uncompleted connection" until it stalls. Keeps live semantics equal
+    # to the offline windowing without alarming on every session prefix.
+    SHORT_SESSION_MATURITY_S = 0.75
+
+    def _score_session(self, session_id: int) -> None:
+        indices = self._session_records.get(session_id, [])
+        if not indices:
+            return
+        if len(indices) < self.config.window:
+            count = len(indices)
+            self.schedule(
+                self.SHORT_SESSION_MATURITY_S,
+                lambda: self._mature_short_session(session_id, count),
+                name=f"{self.name}.mature",
+            )
+            return
+        self._score_window(session_id, indices)
+
+    def _mature_short_session(self, session_id: int, count: int) -> None:
+        indices = self._session_records.get(session_id, [])
+        if len(indices) != count:
+            return  # progressed (or another maturation check is pending)
+        self._score_window(session_id, indices)
+
+    def _score_window(self, session_id: int, indices: list) -> None:
+        if self.detector is None:
+            return
+        window = self.config.window
+        spec = self.config.spec
+        chosen = indices[-window:]
+        rows = np.stack([self._rows[i] for i in chosen])
+        if len(chosen) < window:
+            padded = np.zeros((window, spec.dim), dtype=rows.dtype)
+            padded[window - len(chosen) :] = rows
+            rows = padded
+        vector = rows.reshape(1, -1)
+        score = float(self.detector.scores(vector)[0])
+        self.windows_scored += 1
+        threshold = self.detector.threshold.threshold or 0.0
+        if score <= threshold:
+            return
+        # One alert per session per record-count (new evidence -> new alert).
+        if self._alerted_counts.get(session_id) == len(indices):
+            return
+        self._alerted_counts[session_id] = len(indices)
+        newest = self.series[chosen[-1]]
+        event = AnomalyEvent(
+            detected_at=self.now,
+            session_id=session_id,
+            rnti=newest.rnti,
+            s_tmsi=newest.s_tmsi,
+            score=score,
+            threshold=threshold,
+            record_indices=tuple(chosen),
+            newest_record_ts=newest.timestamp,
+        )
+        self.anomalies.append(event)
+        self.sdl.set(
+            SDL_ANOMALY_NS,
+            f"{len(self.anomalies):06d}",
+            {
+                "session": session_id,
+                "score": score,
+                "threshold": threshold,
+                "detected_at": event.detected_at,
+            },
+        )
+        self.ric.rmr.send(XSEC_ANOMALY_MTYPE, -1, event)
+
+    # -- context access (for the analyzer) ---------------------------------------------
+
+    def context_for(self, event: AnomalyEvent, max_records: int = 40) -> list[MobiFlowRecord]:
+        """The flagged window plus surrounding stream context."""
+        end = event.record_indices[-1] + 1
+        start = max(0, end - max_records)
+        return self.series[start:end].records
+
+    # -- response helpers (used by the pipeline's closed loop) ---------------------------
+
+    def release_ue(self, rnti: int) -> None:
+        header, message = MobiFlowKpmModel.encode_control(ACTION_RELEASE_UE, rnti=rnti)
+        self.send_control(MOBIFLOW_RAN_FUNCTION_ID, header, message)
+
+    def blocklist_tmsi(self, tmsi: int) -> None:
+        header, message = MobiFlowKpmModel.encode_control(
+            ACTION_BLOCKLIST_TMSI, tmsi=tmsi
+        )
+        self.send_control(MOBIFLOW_RAN_FUNCTION_ID, header, message)
+
+    def rate_limit_access(self, max_setups: int, window_s: float) -> None:
+        header, message = MobiFlowKpmModel.encode_control(
+            ACTION_RATE_LIMIT_ACCESS, max_setups=max_setups, window_s=window_s
+        )
+        self.send_control(MOBIFLOW_RAN_FUNCTION_ID, header, message)
+
+
+def _record_value(record: MobiFlowRecord) -> dict:
+    return {k: v for k, v in record.to_dict().items() if v is not None}

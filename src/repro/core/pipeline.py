@@ -1,0 +1,168 @@
+"""Closed-loop pipeline: detect -> explain -> respond (Figure 3).
+
+Tracks each incident end-to-end with timestamps (telemetry capture ->
+MobiWatch detection -> LLM verdict -> control action), implements the
+automated-response policy (§5, Automated Network Responses) mapping
+confirmed attack classes to E2 control actions, and keeps the
+human-supervision queue for detector/LLM contradictions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.config import XsecConfig
+from repro.core.llm_analyzer import LlmAnalyzerXApp, VerdictEvent
+from repro.core.mobiwatch import AnomalyEvent, MobiWatchXApp
+
+
+@dataclass
+class IncidentRecord:
+    """One anomaly's journey through the loop."""
+
+    anomaly: AnomalyEvent
+    verdict: Optional[VerdictEvent] = None
+    action: str = ""
+    action_at: Optional[float] = None
+
+    @property
+    def detection_latency_s(self) -> Optional[float]:
+        """Newest telemetry entry -> MobiWatch alarm."""
+        return self.anomaly.detected_at - self.anomaly.newest_record_ts
+
+    @property
+    def explanation_latency_s(self) -> Optional[float]:
+        """MobiWatch alarm -> parsed LLM verdict."""
+        if self.verdict is None:
+            return None
+        return self.verdict.completed_at - self.anomaly.detected_at
+
+    @property
+    def response_latency_s(self) -> Optional[float]:
+        """MobiWatch alarm -> control action issued."""
+        if self.action_at is None:
+            return None
+        return self.action_at - self.anomaly.detected_at
+
+
+class ClosedLoopPipeline:
+    """Wires MobiWatch -> LLM analyzer -> automated responses."""
+
+    def __init__(
+        self,
+        mobiwatch: MobiWatchXApp,
+        analyzer: LlmAnalyzerXApp,
+        config: Optional[XsecConfig] = None,
+    ) -> None:
+        self.config = config or XsecConfig()
+        self.mobiwatch = mobiwatch
+        self.analyzer = analyzer
+        self.incidents: list[IncidentRecord] = []
+        self._by_anomaly: dict[int, IncidentRecord] = {}
+        self.actions_taken: list[tuple[str, dict]] = []
+        analyzer.on_verdict(self._on_verdict)
+        # Observe anomalies as MobiWatch emits them (shared list reference).
+        self._seen_anomalies = 0
+
+    def poll_anomalies(self) -> None:
+        """Fold newly emitted MobiWatch anomalies into incident records."""
+        while self._seen_anomalies < len(self.mobiwatch.anomalies):
+            anomaly = self.mobiwatch.anomalies[self._seen_anomalies]
+            incident = IncidentRecord(anomaly=anomaly)
+            self.incidents.append(incident)
+            self._by_anomaly[id(anomaly)] = incident
+            self._seen_anomalies += 1
+
+    # -- verdict handling -------------------------------------------------------
+
+    def _on_verdict(self, event: VerdictEvent) -> None:
+        self.poll_anomalies()
+        incident = self._by_anomaly.get(id(event.anomaly))
+        if incident is None:
+            incident = IncidentRecord(anomaly=event.anomaly)
+            self.incidents.append(incident)
+            self._by_anomaly[id(event.anomaly)] = incident
+        incident.verdict = event
+        if event.confirmed:
+            self._respond(incident, event)
+
+    def _respond(self, incident: IncidentRecord, event: VerdictEvent) -> None:
+        """Map the confirmed attack class to an E2 control action."""
+        top = (
+            event.verdict.response.top_attacks[0][0].lower()
+            if event.verdict.response.top_attacks
+            else ""
+        )
+        anomaly = event.anomaly
+        if self.config.auto_blocklist and "tmsi" in top and anomaly.s_tmsi is not None:
+            self.mobiwatch.blocklist_tmsi(anomaly.s_tmsi)
+            incident.action = "blocklist_tmsi"
+            incident.action_at = self.mobiwatch.now
+            self.actions_taken.append(("blocklist_tmsi", {"tmsi": anomaly.s_tmsi}))
+        elif self.config.auto_rate_limit and "signaling storm" in top:
+            params = {
+                "max_setups": self.config.rate_limit_max_setups,
+                "window_s": self.config.rate_limit_window_s,
+            }
+            self.mobiwatch.rate_limit_access(**params)
+            incident.action = "rate_limit_access"
+            incident.action_at = self.mobiwatch.now
+            self.actions_taken.append(("rate_limit_access", params))
+        elif self.config.auto_release and anomaly.rnti is not None:
+            self.mobiwatch.release_ue(anomaly.rnti)
+            incident.action = "release_ue"
+            incident.action_at = self.mobiwatch.now
+            self.actions_taken.append(("release_ue", {"rnti": anomaly.rnti}))
+
+    # -- reporting ------------------------------------------------------------------
+
+    def summary(self) -> dict:
+        self.poll_anomalies()
+        confirmed = [
+            i for i in self.incidents if i.verdict is not None and i.verdict.confirmed
+        ]
+        return {
+            "anomalies": len(self.incidents),
+            "verdicts": sum(1 for i in self.incidents if i.verdict is not None),
+            "confirmed": len(confirmed),
+            "needs_human_review": len(self.analyzer.human_review_queue),
+            "actions": len(self.actions_taken),
+            "queries_suppressed": self.analyzer.queries_suppressed,
+        }
+
+    def latency_report(self) -> dict:
+        """Control-loop timing stats (the near-RT budget is 10ms-1s)."""
+        self.poll_anomalies()
+        detection = [
+            latency
+            for i in self.incidents
+            if (latency := i.detection_latency_s) is not None
+        ]
+        explanation = [
+            latency
+            for i in self.incidents
+            if (latency := i.explanation_latency_s) is not None
+        ]
+        response = [
+            latency
+            for i in self.incidents
+            if (latency := i.response_latency_s) is not None
+        ]
+
+        def stats(values):
+            if not values:
+                return {"n": 0}
+            ordered = sorted(values)
+            return {
+                "n": len(ordered),
+                "mean": sum(ordered) / len(ordered),
+                "p50": ordered[len(ordered) // 2],
+                "max": ordered[-1],
+            }
+
+        return {
+            "detection_s": stats(detection),
+            "explanation_s": stats(explanation),
+            "response_s": stats(response),
+        }

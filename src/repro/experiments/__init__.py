@@ -1,0 +1,31 @@
+"""Experiment harness: datasets, testbed assembly, and paper artifacts.
+
+One module per evaluation artifact (see DESIGN.md §4):
+
+- :mod:`.colosseum` — scenario-driven traffic generation (Colosseum stand-in)
+- :mod:`.datasets` — the paper's benign and attack dataset collection (§4)
+- :mod:`.testbed` — full 6G-XSec testbed assembly (network + RIC + xApps)
+- :mod:`.table2` — detection performance (Table 2)
+- :mod:`.figure4` — reconstruction-error visualization series (Figure 4)
+- :mod:`.table3` — LLM evaluation grid (Table 3)
+- :mod:`.figure5` — prompt template + example response (Figure 5)
+- :mod:`.ablations` — window size / threshold percentile / feature sets
+- :mod:`.reporting` — text rendering of tables and series
+"""
+
+from repro.experiments.datasets import (
+    AttackDatasetConfig,
+    BenignDatasetConfig,
+    generate_attack_dataset,
+    generate_benign_dataset,
+)
+from repro.experiments.colosseum import ColosseumScenario, run_scenario
+
+__all__ = [
+    "AttackDatasetConfig",
+    "BenignDatasetConfig",
+    "generate_attack_dataset",
+    "generate_benign_dataset",
+    "ColosseumScenario",
+    "run_scenario",
+]

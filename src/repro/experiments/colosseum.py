@@ -1,0 +1,125 @@
+"""Colosseum stand-in: scenario-driven large-scale traffic generation.
+
+The paper uses the Colosseum wireless network emulator to generate diverse
+benign traffic (and to run the attack collection safely). Its role in the
+evaluation is purely *workload generation* — many concurrent UE sessions
+with realistic arrival processes — which this module reproduces on top of
+the simulated network: each emulated UE runs repeated registration sessions
+separated by exponential think times, for a configured scenario duration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.ran.network import FiveGNetwork
+from repro.ran.ue import UserEquipment
+
+
+@dataclass
+class ColosseumScenario:
+    """One traffic scenario: who connects, how often, for how long."""
+
+    duration_s: float = 120.0
+    # (profile name, count) pairs; defaults mirror the paper's mix of four
+    # commodity handsets plus OAI soft-UEs.
+    ue_mix: tuple = (
+        ("pixel5", 2),
+        ("pixel6", 2),
+        ("galaxy_a22", 2),
+        ("galaxy_a53", 2),
+        ("oai_ue", 4),
+    )
+    # Mean idle gap between one UE's sessions (exponential).
+    mean_think_time_s: float = 6.0
+    # Spread of initial session starts across this many seconds.
+    arrival_spread_s: float = 5.0
+    # Fraction of sessions that are network-initiated (paging -> mt-Access
+    # service request) when the UE is registered and idle.
+    mt_session_fraction: float = 0.15
+
+
+@dataclass
+class ScenarioStats:
+    """What the scenario produced."""
+
+    ues: list = field(default_factory=list)
+    sessions_started: int = 0
+    sessions_completed: int = 0
+    sessions_failed: int = 0
+    mt_sessions_paged: int = 0
+
+
+class _SessionDriver:
+    """Keeps one UE cycling through sessions until the scenario ends."""
+
+    def __init__(
+        self,
+        net: FiveGNetwork,
+        ue: UserEquipment,
+        scenario: ColosseumScenario,
+        stats: ScenarioStats,
+    ) -> None:
+        self.net = net
+        self.ue = ue
+        self.scenario = scenario
+        self.stats = stats
+        self.rng = net.sim.rng.stream(f"colosseum.{ue.name}")
+
+    def start(self, initial_delay: float) -> None:
+        self.net.sim.schedule(initial_delay, self._begin_session)
+
+    def _begin_session(self) -> None:
+        if self.net.sim.now >= self.scenario.duration_s:
+            return
+        if self.ue.rrc_state.name != "IDLE" or self.ue._session_active:
+            # Still winding down a previous session; retry shortly.
+            self.net.sim.schedule(0.5, self._begin_session)
+            return
+        if (
+            self.ue.fivegmm_state.name == "REGISTERED"
+            and self.rng.random() < self.scenario.mt_session_fraction
+            and self.net.amf.page_supi(str(self.ue.supi))
+        ):
+            # Network-initiated session: the UE answers the page itself;
+            # come back after it has likely wound down.
+            self.stats.mt_sessions_paged += 1
+            self.stats.sessions_started += 1
+            gap = 6.0 + self.rng.expovariate(1.0 / self.scenario.mean_think_time_s)
+            self.net.sim.schedule(gap, self._begin_session)
+            return
+        self.stats.sessions_started += 1
+        self.ue.start_session(on_end=self._on_session_end)
+
+    def _on_session_end(self, ue: UserEquipment, outcome: str) -> None:
+        if outcome == "completed":
+            self.stats.sessions_completed += 1
+        else:
+            self.stats.sessions_failed += 1
+        gap = self.rng.expovariate(1.0 / self.scenario.mean_think_time_s)
+        self.net.sim.schedule(gap, self._begin_session)
+
+
+def run_scenario(
+    net: FiveGNetwork,
+    scenario: Optional[ColosseumScenario] = None,
+    run: bool = True,
+) -> ScenarioStats:
+    """Provision the scenario's UEs and drive their session loops.
+
+    With ``run=False`` the scenario is scheduled but the simulation is left
+    to the caller (used when attacks must be armed on the same timeline).
+    """
+    scenario = scenario or ColosseumScenario()
+    stats = ScenarioStats()
+    arrivals = net.sim.rng.stream("colosseum.arrivals")
+    for profile_name, count in scenario.ue_mix:
+        for _ in range(count):
+            ue = net.add_ue(profile_name)
+            stats.ues.append(ue)
+            driver = _SessionDriver(net, ue, scenario, stats)
+            driver.start(arrivals.uniform(0.05, scenario.arrival_spread_s))
+    if run:
+        net.run(until=scenario.duration_s + 30.0)
+    return stats

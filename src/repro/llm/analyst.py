@@ -1,0 +1,73 @@
+"""Expert referencing: prompt -> model -> parsed analysis, end to end.
+
+This is the caller-side workflow the LLM analyzer xApp runs for each
+anomalous sequence (paper §3.3): render the Figure 5 prompt (optionally
+retrieval-augmented), query the model through the REST-style client, parse
+the text into the structured classification / explanation / attribution /
+remediation outputs, and cross-compare with MobiWatch's verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.llm.client import LlmClient
+from repro.llm.knowledge import CellularKnowledgeBase
+from repro.llm.prompt import PromptTemplate
+from repro.llm.response import AnalysisResponse, parse_response
+from repro.telemetry.mobiflow import MobiFlowRecord
+
+
+@dataclass
+class ExpertVerdict:
+    """One complete expert-referencing result for a flagged sequence."""
+
+    response: AnalysisResponse
+    prompt: str
+    model: str
+    # Cross-comparison with the anomaly detector (§3.3): contradictory
+    # results require human supervision.
+    detector_flagged: bool = True
+
+    @property
+    def agrees_with_detector(self) -> bool:
+        return self.response.is_anomalous == self.detector_flagged
+
+    @property
+    def needs_human_review(self) -> bool:
+        return not self.agrees_with_detector
+
+
+@dataclass
+class ExpertAnalyst:
+    """Expert-referencing driver bound to one model."""
+
+    client: LlmClient
+    use_rag: bool = False
+    knowledge: CellularKnowledgeBase = field(default_factory=CellularKnowledgeBase)
+    analyses_run: int = 0
+    escalations: int = 0
+
+    def analyze(
+        self,
+        records: list[MobiFlowRecord],
+        detector_flagged: bool = True,
+    ) -> ExpertVerdict:
+        """Run one expert-referencing round for a telemetry sequence."""
+        template = PromptTemplate()
+        if self.use_rag:
+            template.retrieved_snippets = self.knowledge.retrieve(records)
+        prompt = template.render(records)
+        text = self.client.complete(prompt)
+        response = parse_response(text)
+        verdict = ExpertVerdict(
+            response=response,
+            prompt=prompt,
+            model=self.client.model,
+            detector_flagged=detector_flagged,
+        )
+        self.analyses_run += 1
+        if verdict.needs_human_review:
+            self.escalations += 1
+        return verdict

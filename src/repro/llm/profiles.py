@@ -1,0 +1,136 @@
+"""Per-model capability profiles calibrated to the paper's Table 3.
+
+Table 3 reports which of the five zero-shot models correctly classified
+each attack trace (✓) or got it wrong (✗):
+
+=====================  ========  ======  =======  ======  ========
+Attack / Trace         ChatGPT   Gemini  Copilot  Llama3  Claude 3
+                       4o                                 Sonnet
+=====================  ========  ======  =======  ======  ========
+BTS DoS                ✓         ✓       ✓        ✗       ✗
+Blind DoS              ✓         ✗       ✗        ✓       ✗
+Uplink ID Extraction   ✗         ✗       ✗        ✗       ✓
+Downlink ID Extr.      ✓         ✓       ✗        ✓       ✓
+Null Cipher & Int.     ✓         ✓       ✗        ✓       ✓
+Benign sequences       ✓         ✓       ✓        ✓       ✓
+=====================  ========  ======  =======  ======  ========
+
+A profile's ``perceives`` set lists which attack signatures that model can
+recognize; signatures matched by the shared engine but outside the set are
+missed (the model calls the trace benign) — reproducing the ✗ cells while
+keeping all models correct on benign traces. Styles vary the response
+voice so the generated text differs across models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.llm.knowledge import (
+    SIG_AUTH_FORGERY,
+    SIG_NULL_CIPHER,
+    SIG_OUT_OF_ORDER_IDENTITY,
+    SIG_PLAINTEXT_SUCI,
+    SIG_SIGNALING_STORM,
+    SIG_TMSI_REPLAY,
+)
+
+
+@dataclass(frozen=True)
+class ModelProfile:
+    """What one simulated LLM can perceive and how it writes."""
+
+    name: str
+    vendor: str
+    perceives: frozenset
+    # Signatures the model recognizes *only when the prompt carries the
+    # relevant 3GPP knowledge snippet* (retrieval augmentation, paper §5:
+    # RAG closes knowledge gaps, not reasoning gaps).
+    rag_boost: frozenset = frozenset()
+    # Response style knobs.
+    verbosity: int = 2  # 1 = terse, 2 = standard, 3 = expansive
+    hedging: bool = False  # prefixes uncertainty qualifiers
+    # Mean simulated API latency (seconds) for pipeline timing.
+    mean_latency_s: float = 2.0
+
+
+MODEL_PROFILES: dict[str, ModelProfile] = {
+    "chatgpt-4o": ModelProfile(
+        name="chatgpt-4o",
+        vendor="OpenAI",
+        perceives=frozenset(
+            {
+                SIG_SIGNALING_STORM,
+                SIG_TMSI_REPLAY,
+                SIG_OUT_OF_ORDER_IDENTITY,
+                SIG_NULL_CIPHER,
+            }
+        ),
+        rag_boost=frozenset({SIG_PLAINTEXT_SUCI}),
+        verbosity=3,
+        mean_latency_s=2.5,
+    ),
+    "gemini": ModelProfile(
+        name="gemini",
+        vendor="Google",
+        perceives=frozenset(
+            {SIG_SIGNALING_STORM, SIG_OUT_OF_ORDER_IDENTITY, SIG_NULL_CIPHER}
+        ),
+        rag_boost=frozenset({SIG_TMSI_REPLAY}),
+        verbosity=2,
+        mean_latency_s=1.8,
+    ),
+    "copilot": ModelProfile(
+        name="copilot",
+        vendor="Microsoft",
+        perceives=frozenset({SIG_SIGNALING_STORM}),
+        rag_boost=frozenset({SIG_NULL_CIPHER, SIG_OUT_OF_ORDER_IDENTITY}),
+        verbosity=1,
+        hedging=True,
+        mean_latency_s=1.5,
+    ),
+    "llama3": ModelProfile(
+        name="llama3",
+        vendor="Meta",
+        perceives=frozenset(
+            {SIG_TMSI_REPLAY, SIG_OUT_OF_ORDER_IDENTITY, SIG_NULL_CIPHER}
+        ),
+        rag_boost=frozenset({SIG_SIGNALING_STORM}),
+        verbosity=2,
+        mean_latency_s=1.2,
+    ),
+    "claude-3-sonnet": ModelProfile(
+        name="claude-3-sonnet",
+        vendor="Anthropic",
+        perceives=frozenset(
+            {SIG_PLAINTEXT_SUCI, SIG_OUT_OF_ORDER_IDENTITY, SIG_NULL_CIPHER}
+        ),
+        rag_boost=frozenset({SIG_TMSI_REPLAY}),
+        verbosity=3,
+        hedging=True,
+        mean_latency_s=2.2,
+    ),
+}
+
+
+# The paper's "Specialized LLM for 6G" vision (§5): a locally fine-tuned
+# model trained on cellular protocol knowledge. Not part of Table 3; used
+# by the RAG/fine-tuning study and available to the analyzer xApp.
+FINETUNED_PROFILE = ModelProfile(
+    name="xsec-ft-7b",
+    vendor="local",
+    perceives=frozenset(
+        {
+            SIG_AUTH_FORGERY,
+            SIG_SIGNALING_STORM,
+            SIG_TMSI_REPLAY,
+            SIG_PLAINTEXT_SUCI,
+            SIG_OUT_OF_ORDER_IDENTITY,
+            SIG_NULL_CIPHER,
+        }
+    ),
+    verbosity=2,
+    mean_latency_s=0.6,  # local inference: no WAN round trip
+)
+
+MODEL_PROFILES["xsec-ft-7b"] = FINETUNED_PROFILE

@@ -1,0 +1,144 @@
+"""Prompt construction — the Figure 5 template.
+
+The template is reproduced verbatim from the paper::
+
+    You are an AI security analyst tasked with identifying potential
+    attacks within a 5G network. You have access to a cellular traffic
+    sequence of attributes:
+    <DATA_DESCRIPTIONS>
+    <DATA>
+    Determine whether this sequence is anomalous or benign and explain
+    why. Next, if the sequence constitutes attacks, provide the top 3 most
+    possible attacks, and describe the implications.
+
+``<DATA_DESCRIPTIONS>`` lists the MobiFlow attributes (Table 1);
+``<DATA>`` is the flagged telemetry sequence rendered one entry per line.
+:func:`parse_data_section` is the inverse used by the simulated backends —
+they read the records back out of the prompt text, exactly as a real model
+reads them.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.ran.security import CipherAlg, IntegrityAlg
+from repro.telemetry.mobiflow import MobiFlowRecord
+
+DATA_DESCRIPTIONS = """\
+Each line is one control-plane telemetry entry with attributes:
+- t: capture timestamp in seconds
+- session: RRC connection (session) identifier
+- msg: RRC or NAS control message name
+- dir: link direction (UL = device to network, DL = network to device)
+- rnti: Radio Network Temporary Identifier of the connection (hex)
+- s_tmsi: 5G S-Temporary Mobile Subscriber Identity, if observed (hex)
+- suci: Subscription Concealed Identifier, if carried by the message
+- supi: Subscription Permanent Identifier, ONLY if exposed in plaintext
+- cipher/integrity: security algorithms selected (NEA0/NIA0 = null)
+- cause: RRC establishment cause, on connection requests"""
+
+TEMPLATE = """\
+You are an AI security analyst tasked with identifying potential attacks \
+within a 5G network. You have access to a cellular traffic sequence of \
+attributes:
+{data_descriptions}
+
+{data}
+
+Determine whether this sequence is anomalous or benign and explain why. \
+Next, if the sequence constitutes attacks, provide the top 3 most possible \
+attacks, and describe the implications.{extra}"""
+
+
+def _alg_name(kind: str, value: Optional[int]) -> str:
+    if value is None:
+        return "-"
+    prefix = "NEA" if kind == "cipher" else "NIA"
+    return f"{prefix}{value}"
+
+
+def format_record(record: MobiFlowRecord) -> str:
+    """Render one telemetry entry as a prompt line."""
+    parts = [
+        f"t={record.timestamp:.3f}",
+        f"session={record.session_id}",
+        f"msg={record.msg}",
+        f"dir={record.direction}",
+        f"rnti={'0x%04x' % record.rnti if record.rnti is not None else '-'}",
+        f"s_tmsi={'0x%08x' % record.s_tmsi if record.s_tmsi is not None else '-'}",
+        f"suci={record.suci or '-'}",
+        f"supi={record.supi or '-'}",
+        f"cipher={_alg_name('cipher', record.cipher_alg)}",
+        f"integrity={_alg_name('integrity', record.integrity_alg)}",
+        f"cause={record.establishment_cause or '-'}",
+    ]
+    return " ".join(parts)
+
+
+def format_records(records: Iterable[MobiFlowRecord]) -> str:
+    return "\n".join(format_record(record) for record in records)
+
+
+_LINE_RE = re.compile(
+    r"t=(?P<t>[\d.]+) session=(?P<session>\d+) msg=(?P<msg>\S+) dir=(?P<dir>UL|DL) "
+    r"rnti=(?P<rnti>\S+) s_tmsi=(?P<tmsi>\S+) suci=(?P<suci>\S+) supi=(?P<supi>\S+) "
+    r"cipher=(?P<cipher>\S+) integrity=(?P<integrity>\S+) cause=(?P<cause>\S+)"
+)
+
+
+def parse_data_section(text: str) -> list[MobiFlowRecord]:
+    """Read telemetry entries back out of prompt text (backend side)."""
+    from repro.ran.messages import Message, MessageError
+
+    def _protocol(msg_name: str) -> str:
+        try:
+            return Message.lookup(msg_name).PROTOCOL.value
+        except MessageError:
+            return "RRC"
+
+    records: list[MobiFlowRecord] = []
+    for match in _LINE_RE.finditer(text):
+        cipher = match["cipher"]
+        integrity = match["integrity"]
+        records.append(
+            MobiFlowRecord(
+                timestamp=float(match["t"]),
+                msg=match["msg"],
+                protocol=_protocol(match["msg"]),
+                direction=match["dir"],
+                session_id=int(match["session"]),
+                rnti=None if match["rnti"] == "-" else int(match["rnti"], 16),
+                s_tmsi=None if match["tmsi"] == "-" else int(match["tmsi"], 16),
+                suci=None if match["suci"] == "-" else match["suci"],
+                supi=None if match["supi"] == "-" else match["supi"],
+                cipher_alg=None if cipher == "-" else int(CipherAlg[cipher]),
+                integrity_alg=None if integrity == "-" else int(IntegrityAlg[integrity]),
+                establishment_cause=None if match["cause"] == "-" else match["cause"],
+            )
+        )
+    return records
+
+
+@dataclass
+class PromptTemplate:
+    """Zero-shot prompt builder, optionally retrieval-augmented (§5)."""
+
+    data_descriptions: str = DATA_DESCRIPTIONS
+    # Retrieved 3GPP-knowledge snippets appended to the prompt (RAG).
+    retrieved_snippets: list = field(default_factory=list)
+
+    def render(self, records: Iterable[MobiFlowRecord]) -> str:
+        extra = ""
+        if self.retrieved_snippets:
+            bullet_list = "\n".join(f"- {snippet}" for snippet in self.retrieved_snippets)
+            extra = (
+                "\n\nRelevant 3GPP protocol knowledge for reference:\n" + bullet_list
+            )
+        return TEMPLATE.format(
+            data_descriptions=self.data_descriptions,
+            data=format_records(records),
+            extra=extra,
+        )

@@ -1,0 +1,63 @@
+"""From-scratch numpy deep-learning stack for the MobiWatch models (§3.2).
+
+The paper trains two lightweight unsupervised models on benign telemetry
+only:
+
+- an **Autoencoder** scored by reconstruction error, and
+- an **LSTM** next-step predictor scored by prediction error,
+
+with a percentile threshold over training-set errors (99% in §4.1). Only
+numpy is available offline, so the layers, Adam, and LSTM backpropagation
+through time are implemented here directly; gradients are verified against
+finite differences in the test suite.
+"""
+
+from repro.ml.layers import Dense, Parameter, ReLU, Sequential, Sigmoid, Tanh
+from repro.ml.optim import Adam, Sgd
+from repro.ml.losses import mse_loss
+from repro.ml.autoencoder import Autoencoder
+from repro.ml.lstm import LstmPredictor
+from repro.ml.threshold import PercentileThreshold
+from repro.ml.metrics import DetectionMetrics, confusion_matrix
+from repro.ml.detector import (
+    AnomalyDetector,
+    AutoencoderDetector,
+    LstmDetector,
+)
+from repro.ml.error_classifier import ErrorPatternClassifier
+from repro.ml.training import (
+    TrainConfig,
+    TrainHistory,
+    train_autoencoder,
+    train_lstm,
+    train_minibatch,
+)
+from repro.ml.serialize import load_detector, save_detector
+
+__all__ = [
+    "Dense",
+    "Parameter",
+    "ReLU",
+    "Sequential",
+    "Sigmoid",
+    "Tanh",
+    "Adam",
+    "Sgd",
+    "mse_loss",
+    "Autoencoder",
+    "LstmPredictor",
+    "PercentileThreshold",
+    "DetectionMetrics",
+    "confusion_matrix",
+    "AnomalyDetector",
+    "AutoencoderDetector",
+    "LstmDetector",
+    "ErrorPatternClassifier",
+    "TrainConfig",
+    "TrainHistory",
+    "train_autoencoder",
+    "train_lstm",
+    "train_minibatch",
+    "load_detector",
+    "save_detector",
+]

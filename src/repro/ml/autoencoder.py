@@ -1,0 +1,108 @@
+"""Autoencoder for reconstruction-error anomaly scoring (paper §3.2).
+
+``S_hat = f_AE(S)``: the flattened telemetry window is compressed through a
+bottleneck and reconstructed; windows unlike the benign training
+distribution reconstruct poorly. Mean-squared reconstruction error is the
+anomaly score, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.ml.layers import Dense, ReLU, Sequential
+from repro.ml.losses import mse_loss, per_sample_mse
+from repro.ml.optim import Adam
+
+
+@dataclass
+class TrainReport:
+    """Loss trajectory of one training run."""
+
+    epoch_losses: list = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        return self.epoch_losses[-1] if self.epoch_losses else float("nan")
+
+
+class Autoencoder:
+    """Symmetric MLP autoencoder with a sigmoid output (inputs are one-hot)."""
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dim: int = 64,
+        latent_dim: int = 16,
+        seed: int = 0,
+    ) -> None:
+        if latent_dim >= input_dim:
+            raise ValueError("latent dimension must compress the input")
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        self.latent_dim = latent_dim
+        rng = np.random.default_rng(seed)
+        self.encoder = Sequential(
+            Dense(input_dim, hidden_dim, rng),
+            ReLU(),
+            Dense(hidden_dim, latent_dim, rng),
+            ReLU(),
+        )
+        # Linear output: feature values are weighted one-hots that may
+        # exceed 1.0, which a squashing output could never reconstruct.
+        self.decoder = Sequential(
+            Dense(latent_dim, hidden_dim, rng),
+            ReLU(),
+            Dense(hidden_dim, input_dim, rng),
+        )
+        self.model = Sequential(*self.encoder.layers, *self.decoder.layers)
+        self._shuffle_rng = np.random.default_rng(seed + 1)
+
+    def encode(self, x: np.ndarray) -> np.ndarray:
+        """Project inputs to the latent space."""
+        return self.encoder.forward(np.asarray(x, dtype=np.float64))
+
+    def reconstruct(self, x: np.ndarray) -> np.ndarray:
+        return self.model.forward(np.asarray(x, dtype=np.float64))
+
+    def fit(
+        self,
+        x: np.ndarray,
+        epochs: int = 30,
+        batch_size: int = 64,
+        lr: float = 1e-3,
+    ) -> TrainReport:
+        """Train to reconstruct benign windows."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.input_dim:
+            raise ValueError(f"expected [n, {self.input_dim}] inputs, got {x.shape}")
+        if len(x) == 0:
+            raise ValueError("cannot train on an empty dataset")
+        optimizer = Adam(self.model.params(), lr=lr)
+        report = TrainReport()
+        n = len(x)
+        for _ in range(epochs):
+            order = self._shuffle_rng.permutation(n)
+            epoch_loss = 0.0
+            batches = 0
+            for start in range(0, n, batch_size):
+                batch = x[order[start : start + batch_size]]
+                optimizer.zero_grad()
+                pred = self.model.forward(batch)
+                loss, grad = mse_loss(pred, batch)
+                self.model.backward(grad)
+                optimizer.step()
+                epoch_loss += loss
+                batches += 1
+            report.epoch_losses.append(epoch_loss / max(batches, 1))
+        return report
+
+    def reconstruction_errors(self, x: np.ndarray) -> np.ndarray:
+        """Per-window anomaly scores (row-wise MSE)."""
+        x = np.asarray(x, dtype=np.float64)
+        if len(x) == 0:
+            return np.zeros(0)
+        return per_sample_mse(self.reconstruct(x), x)

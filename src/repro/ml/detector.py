@@ -1,0 +1,216 @@
+"""Unified anomaly-detector interface over the two models (paper §3.2).
+
+Both detectors consume the :class:`~repro.telemetry.features.WindowedDataset`
+window matrix ``[num_windows, N * D]``:
+
+- the **Autoencoder** reconstructs the whole window;
+- the **LSTM** reads the first ``N-1`` entries of the window and predicts
+  the last one, so its score for window ``S_i`` is the prediction error on
+  ``x_{i+N-1}`` — the alignment keeps both models' decisions comparable
+  window-for-window under the paper's labeling rule.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from repro.ml.autoencoder import Autoencoder, TrainReport
+from repro.ml.lstm import LstmPredictor
+from repro.ml.threshold import PercentileThreshold
+
+
+class AnomalyDetector(abc.ABC):
+    """fit on benign windows -> score/detect arbitrary windows."""
+
+    name: str = "detector"
+
+    def __init__(self, window: int, feature_dim: int, percentile: float = 99.0) -> None:
+        self.window = window
+        self.feature_dim = feature_dim
+        self.threshold = PercentileThreshold(percentile=percentile)
+        self.training_scores: Optional[np.ndarray] = None
+
+    def _check(self, windows: np.ndarray) -> np.ndarray:
+        windows = np.asarray(windows, dtype=np.float64)
+        expected = self.window * self.feature_dim
+        if windows.ndim != 2 or windows.shape[1] != expected:
+            raise ValueError(
+                f"expected [n, {expected}] windows "
+                f"(window={self.window} x dim={self.feature_dim}), got {windows.shape}"
+            )
+        return windows
+
+    def fit(self, benign_windows: np.ndarray, **train_kwargs) -> TrainReport:
+        """Train on benign windows and fit the percentile threshold."""
+        windows = self._check(benign_windows)
+        report = self._fit_model(windows, **train_kwargs)
+        self.training_scores = self.scores(windows)
+        self.threshold.fit(self.training_scores)
+        return report
+
+    def detect(self, windows: np.ndarray) -> np.ndarray:
+        """Boolean anomaly decision per window."""
+        return self.threshold.classify(self.scores(windows))
+
+    @abc.abstractmethod
+    def _fit_model(self, windows: np.ndarray, **train_kwargs) -> TrainReport: ...
+
+    @abc.abstractmethod
+    def scores(self, windows: np.ndarray) -> np.ndarray:
+        """Anomaly score per window (higher = more anomalous)."""
+
+
+class AutoencoderDetector(AnomalyDetector):
+    """Reconstruction-error detector.
+
+    ``aggregate='max'`` (default) scores a window by the worst-reconstructed
+    entry slot rather than the window mean, so a single anomalous telemetry
+    entry is not diluted across the other N-1 entries; ``'mean'`` gives the
+    plain whole-window MSE.
+    """
+
+    name = "autoencoder"
+
+    def __init__(
+        self,
+        window: int,
+        feature_dim: int,
+        hidden_dim: int = 64,
+        latent_dim: int = 16,
+        percentile: float = 99.0,
+        seed: int = 0,
+        aggregate: str = "max",
+    ) -> None:
+        super().__init__(window, feature_dim, percentile)
+        if aggregate not in ("max", "mean"):
+            raise ValueError(f"aggregate must be 'max' or 'mean', got {aggregate!r}")
+        self.aggregate = aggregate
+        self.model = Autoencoder(
+            input_dim=window * feature_dim,
+            hidden_dim=hidden_dim,
+            latent_dim=latent_dim,
+            seed=seed,
+        )
+
+    def _fit_model(self, windows: np.ndarray, **train_kwargs) -> TrainReport:
+        return self.model.fit(windows, **train_kwargs)
+
+    def scores(self, windows: np.ndarray) -> np.ndarray:
+        windows = self._check(windows)
+        if self.aggregate == "mean":
+            return self.model.reconstruction_errors(windows)
+        return self.per_slot_errors(windows).max(axis=1)
+
+    def per_slot_errors(self, windows: np.ndarray) -> np.ndarray:
+        """Reconstruction MSE per entry slot: [n, window]."""
+        windows = self._check(windows)
+        if len(windows) == 0:
+            return np.zeros((0, self.window))
+        reconstruction = self.model.reconstruct(windows)
+        diff = (reconstruction - windows).reshape(-1, self.window, self.feature_dim)
+        return np.mean(diff**2, axis=2)
+
+
+class LstmDetector(AnomalyDetector):
+    """Next-step prediction-error detector."""
+
+    name = "lstm"
+
+    def __init__(
+        self,
+        window: int,
+        feature_dim: int,
+        hidden_dim: int = 32,
+        percentile: float = 99.0,
+        seed: int = 0,
+    ) -> None:
+        if window < 2:
+            raise ValueError("LSTM detector needs window >= 2 (context + target)")
+        super().__init__(window, feature_dim, percentile)
+        self.model = LstmPredictor(
+            input_dim=feature_dim, hidden_dim=hidden_dim, output_dim=feature_dim, seed=seed
+        )
+
+    def _split(self, windows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Window matrix -> (inputs [n, N-1, D], next-step targets [n, N-1, D]).
+
+        Inputs are the window's entries 0..N-2; targets are entries 1..N-1
+        (the sequence shifted by one), so the model predicts every entry of
+        the window except the first.
+        """
+        n = windows.shape[0]
+        unflattened = windows.reshape(n, self.window, self.feature_dim)
+        return unflattened[:, :-1, :], unflattened[:, 1:, :]
+
+    def _fit_model(self, windows: np.ndarray, **train_kwargs) -> TrainReport:
+        sequences, targets = self._split(windows)
+        return self.model.fit(sequences, targets, **train_kwargs)
+
+    def scores(self, windows: np.ndarray) -> np.ndarray:
+        """Window score: worst next-step prediction error within the window."""
+        sequences, targets = self._split(self._check(windows))
+        return self.model.per_step_errors(sequences, targets).max(axis=1)
+
+    # -- session-context scoring -------------------------------------------------
+
+    def record_errors(
+        self, per_record: np.ndarray, groups: list
+    ) -> np.ndarray:
+        """Next-step prediction error per record with *full session context*.
+
+        ``groups`` lists each session's record indices (stream order). The
+        LSTM runs once over each whole session, so a record's error uses
+        every earlier record of its session as context — not just the
+        window prefix. Only each session's first record is unpredictable
+        (error 0).
+        """
+        per_record = np.asarray(per_record, dtype=np.float64)
+        errors = np.zeros(per_record.shape[0])
+        for indices in groups:
+            indices = list(indices)
+            if len(indices) < 2:
+                continue
+            sequence = per_record[indices]
+            per_step = self.model.per_step_errors(
+                sequence[None, :-1, :], sequence[None, 1:, :]
+            )[0]
+            errors[indices[1:]] = per_step
+        return errors
+
+    def session_window_scores(self, windowed) -> np.ndarray:
+        """Score every window of a sessionized WindowedDataset by the worst
+        session-context record error it contains."""
+        # Rebuild session record groups from the windows. Sessionized
+        # windowing emits each session's windows contiguously and adjacent
+        # windows of one session overlap, so a linear connectivity pass
+        # reconstructs the per-session record lists exactly.
+        merged: list = []
+        current: Optional[set] = None
+        for window_indices in windowed.window_records:
+            indices = set(window_indices)
+            if current is not None and (indices & current):
+                current |= indices
+            else:
+                if current is not None:
+                    merged.append(sorted(current))
+                current = indices
+        if current is not None:
+            merged.append(sorted(current))
+        record_errors = self.record_errors(windowed.per_record, merged)
+        return np.array(
+            [
+                record_errors[list(indices)].max() if indices else 0.0
+                for indices in windowed.window_records
+            ]
+        )
+
+    def fit_with_session_context(self, windowed, **train_kwargs):
+        """Train on the dataset's windows, then fit the threshold on
+        session-context scores (keeps train/serve scoring identical)."""
+        report = self._fit_model(self._check(windowed.windows), **train_kwargs)
+        self.training_scores = self.session_window_scores(windowed)
+        self.threshold.fit(self.training_scores)
+        return report

@@ -1,0 +1,96 @@
+"""Detection metrics matching the paper's Table 2 columns.
+
+On the benign dataset there are no positives, so recall and F1 are reported
+as N/A (as the paper does); accuracy there equals the true-negative rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[int, int, int, int]:
+    """Return (tp, fp, tn, fn)."""
+    y_true = np.asarray(y_true, dtype=bool)
+    y_pred = np.asarray(y_pred, dtype=bool)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    tp = int(np.sum(y_true & y_pred))
+    fp = int(np.sum(~y_true & y_pred))
+    tn = int(np.sum(~y_true & ~y_pred))
+    fn = int(np.sum(y_true & ~y_pred))
+    return tp, fp, tn, fn
+
+
+@dataclass(frozen=True)
+class DetectionMetrics:
+    """Accuracy / precision / recall / F1 with N/A handling."""
+
+    tp: int
+    fp: int
+    tn: int
+    fn: int
+
+    @classmethod
+    def from_labels(cls, y_true: np.ndarray, y_pred: np.ndarray) -> "DetectionMetrics":
+        tp, fp, tn, fn = confusion_matrix(y_true, y_pred)
+        return cls(tp=tp, fp=fp, tn=tn, fn=fn)
+
+    @property
+    def total(self) -> int:
+        return self.tp + self.fp + self.tn + self.fn
+
+    @property
+    def accuracy(self) -> float:
+        if self.total == 0:
+            raise ValueError("no samples")
+        return (self.tp + self.tn) / self.total
+
+    @property
+    def precision(self) -> Optional[float]:
+        """None when nothing was predicted positive (undefined)."""
+        denominator = self.tp + self.fp
+        if denominator == 0:
+            return None
+        return self.tp / denominator
+
+    @property
+    def recall(self) -> Optional[float]:
+        denominator = self.tp + self.fn
+        if denominator == 0:
+            return None  # N/A: no positives in ground truth
+        return self.tp / denominator
+
+    @property
+    def f1(self) -> Optional[float]:
+        precision, recall = self.precision, self.recall
+        if precision is None or recall is None or (precision + recall) == 0:
+            return None
+        return 2 * precision * recall / (precision + recall)
+
+    @property
+    def false_positive_rate(self) -> Optional[float]:
+        denominator = self.fp + self.tn
+        if denominator == 0:
+            return None
+        return self.fp / denominator
+
+    @property
+    def has_positives(self) -> bool:
+        return (self.tp + self.fn) > 0
+
+    def as_row(self) -> dict:
+        """Render for tabular reporting ('N/A' where undefined)."""
+
+        def pct(value: Optional[float]) -> str:
+            return "N/A" if value is None else f"{100.0 * value:.2f}%"
+
+        return {
+            "accuracy": pct(self.accuracy),
+            "precision": pct(self.precision),
+            "recall": pct(self.recall),
+            "f1": pct(self.f1),
+        }

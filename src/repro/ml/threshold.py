@@ -1,0 +1,36 @@
+"""Percentile thresholding over training-set anomaly scores (paper §4.1).
+
+"After training, we select a 99% percentile threshold among the
+reconstruction errors for anomaly detection, assuming 1% outliers within
+the training set caused by network noise."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class PercentileThreshold:
+    """Decision rule ``y = 1[score > threshold]``."""
+
+    percentile: float = 99.0
+    threshold: Optional[float] = None
+
+    def fit(self, training_scores: np.ndarray) -> "PercentileThreshold":
+        scores = np.asarray(training_scores, dtype=np.float64)
+        if scores.size == 0:
+            raise ValueError("cannot fit a threshold on empty scores")
+        if not 0.0 < self.percentile <= 100.0:
+            raise ValueError(f"percentile must be in (0, 100], got {self.percentile}")
+        self.threshold = float(np.percentile(scores, self.percentile))
+        return self
+
+    def classify(self, scores: np.ndarray) -> np.ndarray:
+        """Boolean anomaly decisions for each score."""
+        if self.threshold is None:
+            raise RuntimeError("threshold not fitted")
+        return np.asarray(scores, dtype=np.float64) > self.threshold

@@ -1,0 +1,157 @@
+"""Shared mini-batch training loop with validation and early stopping.
+
+Both MobiWatch models (the autoencoder and the LSTM predictor) train with
+the same recipe — shuffled mini-batches, Adam, MSE — so the loop lives here
+once. Beyond deduplication it adds what the ad-hoc loops lacked: an
+optional validation split with early stopping (patience on the validation
+loss), which the SMO's training jobs use to avoid hand-tuning epoch counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.ml.losses import mse_loss
+from repro.ml.optim import Adam
+
+
+@dataclass
+class TrainConfig:
+    """Knobs of one training run."""
+
+    epochs: int = 30
+    batch_size: int = 64
+    lr: float = 1e-3
+    # Fraction of samples held out for validation (0 disables early stop).
+    validation_fraction: float = 0.0
+    # Stop after this many epochs without validation improvement.
+    patience: int = 5
+    # Minimum relative improvement to reset patience.
+    min_improvement: float = 1e-4
+    seed: int = 0
+
+
+@dataclass
+class TrainHistory:
+    """Loss trajectory of one training run (superset of TrainReport)."""
+
+    epoch_losses: list = field(default_factory=list)
+    validation_losses: list = field(default_factory=list)
+    stopped_early: bool = False
+    best_epoch: int = -1
+
+    @property
+    def final_loss(self) -> float:
+        return self.epoch_losses[-1] if self.epoch_losses else float("nan")
+
+
+# The trainable: forward(batch_x) -> prediction; backward(grad); params().
+class TrainableProtocol:  # pragma: no cover - documentation only
+    def forward(self, x: np.ndarray) -> np.ndarray: ...
+    def backward(self, grad: np.ndarray) -> None: ...
+    def params(self) -> list: ...
+
+
+def train_minibatch(
+    trainable,
+    inputs: np.ndarray,
+    targets: np.ndarray,
+    config: Optional[TrainConfig] = None,
+) -> TrainHistory:
+    """Train ``trainable`` to map ``inputs`` to ``targets`` with MSE/Adam.
+
+    With ``validation_fraction > 0`` a tail split is held out; training
+    stops once the validation loss fails to improve for ``patience``
+    epochs, and the history records where the best epoch was.
+    """
+    config = config or TrainConfig()
+    inputs = np.asarray(inputs, dtype=np.float64)
+    targets = np.asarray(targets, dtype=np.float64)
+    if len(inputs) != len(targets):
+        raise ValueError("inputs and targets must align")
+    if len(inputs) == 0:
+        raise ValueError("cannot train on an empty dataset")
+
+    n_val = 0
+    if config.validation_fraction > 0:
+        if not 0 < config.validation_fraction < 1:
+            raise ValueError("validation_fraction must be in (0, 1)")
+        n_val = max(1, int(len(inputs) * config.validation_fraction))
+        if n_val >= len(inputs):
+            raise ValueError("validation split leaves no training data")
+    train_x, train_y = inputs[: len(inputs) - n_val], targets[: len(targets) - n_val]
+    val_x, val_y = inputs[len(inputs) - n_val :], targets[len(targets) - n_val :]
+
+    optimizer = Adam(trainable.params(), lr=config.lr)
+    shuffle = np.random.default_rng(config.seed)
+    history = TrainHistory()
+    best_val = float("inf")
+    stale_epochs = 0
+    n = len(train_x)
+    for epoch in range(config.epochs):
+        order = shuffle.permutation(n)
+        epoch_loss = 0.0
+        batches = 0
+        for start in range(0, n, config.batch_size):
+            idx = order[start : start + config.batch_size]
+            optimizer.zero_grad()
+            prediction = trainable.forward(train_x[idx])
+            loss, grad = mse_loss(prediction, train_y[idx])
+            trainable.backward(grad)
+            optimizer.step()
+            epoch_loss += loss
+            batches += 1
+        history.epoch_losses.append(epoch_loss / max(batches, 1))
+
+        if n_val:
+            val_loss, _ = mse_loss(trainable.forward(val_x), val_y)
+            # Inference pass must not leave stale BPTT caches behind.
+            if hasattr(trainable, "_caches"):
+                trainable._caches = []
+            history.validation_losses.append(val_loss)
+            if val_loss < best_val * (1.0 - config.min_improvement):
+                best_val = val_loss
+                history.best_epoch = epoch
+                stale_epochs = 0
+            else:
+                stale_epochs += 1
+                if stale_epochs >= config.patience:
+                    history.stopped_early = True
+                    break
+    if history.best_epoch < 0 and history.epoch_losses:
+        history.best_epoch = int(np.argmin(history.epoch_losses))
+    return history
+
+
+class _AutoencoderAdapter:
+    """Adapts an Autoencoder's Sequential model to the trainable protocol."""
+
+    def __init__(self, model) -> None:
+        self._model = model
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self._model.forward(x)
+
+    def backward(self, grad: np.ndarray) -> None:
+        self._model.backward(grad)
+
+    def params(self) -> list:
+        return self._model.params()
+
+
+def train_autoencoder(autoencoder, windows: np.ndarray, config: TrainConfig) -> TrainHistory:
+    """Train an :class:`~repro.ml.autoencoder.Autoencoder` via the shared loop."""
+    if windows.ndim != 2 or windows.shape[1] != autoencoder.input_dim:
+        raise ValueError(
+            f"expected [n, {autoencoder.input_dim}] windows, got {windows.shape}"
+        )
+    adapter = _AutoencoderAdapter(autoencoder.model)
+    return train_minibatch(adapter, windows, windows, config)
+
+
+def train_lstm(predictor, sequences: np.ndarray, targets: np.ndarray, config: TrainConfig) -> TrainHistory:
+    """Train an :class:`~repro.ml.lstm.LstmPredictor` via the shared loop."""
+    return train_minibatch(predictor, sequences, targets, config)

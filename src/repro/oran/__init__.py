@@ -1,0 +1,51 @@
+"""O-RAN control plane: near-RT RIC, E2 stack, xApp framework, SMO.
+
+Substitute for the OSC near-RT RIC reference implementation the paper
+deploys. The moving parts mirror Figure 3 of the paper:
+
+- :mod:`.e2ap` — E2 Application Protocol PDUs (setup, subscription,
+  indication, control) over a byte-level link;
+- :mod:`.e2sm` / :mod:`.e2sm_kpm` — service models; the KPM model is
+  extended to carry MobiFlow security telemetry as (key, value) data;
+- :mod:`.e2agent` — the RIC agent embedded in the CU: taps F1AP/NGAP,
+  extracts telemetry, reports per interval, executes control actions;
+- :mod:`.e2term` + :mod:`.ric` — E2 termination and the near-RT RIC
+  platform (RMR routing, SDL, xApp lifecycle);
+- :mod:`.sdl` — the Shared Data Layer where telemetry is stored;
+- :mod:`.xapp` — base class for control-plane applications;
+- :mod:`.a1` / :mod:`.smo` — non-real-time side: policies, rApps, and the
+  train-then-deploy ML workflow.
+"""
+
+from repro.oran.sdl import SharedDataLayer
+from repro.oran.e2ap import (
+    E2SetupRequest,
+    E2SetupResponse,
+    RicControlAck,
+    RicControlRequest,
+    RicIndication,
+    RicSubscriptionRequest,
+    RicSubscriptionResponse,
+)
+from repro.oran.e2sm_kpm import MOBIFLOW_RAN_FUNCTION_ID, MobiFlowReportStyle
+from repro.oran.e2agent import RicAgent
+from repro.oran.ric import NearRtRic
+from repro.oran.xapp import XApp
+from repro.oran.smo import Smo
+
+__all__ = [
+    "SharedDataLayer",
+    "E2SetupRequest",
+    "E2SetupResponse",
+    "RicControlAck",
+    "RicControlRequest",
+    "RicIndication",
+    "RicSubscriptionRequest",
+    "RicSubscriptionResponse",
+    "MOBIFLOW_RAN_FUNCTION_ID",
+    "MobiFlowReportStyle",
+    "RicAgent",
+    "NearRtRic",
+    "XApp",
+    "Smo",
+]

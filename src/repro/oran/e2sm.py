@@ -1,0 +1,79 @@
+"""E2 Service Model base abstractions (O-RAN WG3 E2SM spec).
+
+A service model gives meaning to the opaque header/message bytes inside
+E2AP subscriptions, indications and controls. Each model owns a RAN function
+id and knows how to encode/decode its event triggers and payloads.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any
+
+from repro import wire
+
+
+class E2smError(ValueError):
+    """Raised on service-model payload mismatches."""
+
+
+@dataclass(frozen=True)
+class RanFunctionDefinition:
+    """What an E2 node advertises in E2 Setup for one RAN function."""
+
+    ran_function_id: int
+    name: str
+    description: str
+    revision: int = 1
+
+    def to_value(self) -> dict:
+        return {
+            "ran_function_id": self.ran_function_id,
+            "name": self.name,
+            "description": self.description,
+            "revision": self.revision,
+        }
+
+
+class ServiceModel(abc.ABC):
+    """Base class for E2 service models."""
+
+    RAN_FUNCTION_ID: int = 0
+    NAME: str = ""
+
+    @classmethod
+    def definition(cls) -> RanFunctionDefinition:
+        return RanFunctionDefinition(
+            ran_function_id=cls.RAN_FUNCTION_ID,
+            name=cls.NAME,
+            description=cls.__doc__.strip().splitlines()[0] if cls.__doc__ else "",
+        )
+
+    # -- event triggers ---------------------------------------------------------
+
+    @classmethod
+    def encode_event_trigger(cls, trigger: dict) -> bytes:
+        return wire.encode({"sm": cls.NAME, "trigger": trigger})
+
+    @classmethod
+    def decode_event_trigger(cls, data: bytes) -> dict:
+        blob = wire.decode(data)
+        if not isinstance(blob, dict) or blob.get("sm") != cls.NAME:
+            raise E2smError(f"event trigger is not for service model {cls.NAME}")
+        trigger = blob.get("trigger")
+        if not isinstance(trigger, dict):
+            raise E2smError("malformed event trigger")
+        return trigger
+
+    # -- indication payloads -------------------------------------------------------
+
+    @classmethod
+    @abc.abstractmethod
+    def encode_indication(cls, payload: Any) -> tuple[bytes, bytes]:
+        """Return (indication_header, indication_message) bytes."""
+
+    @classmethod
+    @abc.abstractmethod
+    def decode_indication(cls, header: bytes, message: bytes) -> Any:
+        """Inverse of :meth:`encode_indication`."""

@@ -1,0 +1,96 @@
+"""Shared Data Layer (SDL): the near-RT RIC's common datastore.
+
+The OSC RIC exposes a Redis-backed namespaced key-value store shared by all
+platform services and xApps. We reproduce the same contract: values are
+stored as *bytes* (serialized through :mod:`repro.wire`, enforcing that
+everything written is wire-encodable, as the real SDL enforces
+serializability), namespaced keys, and watch callbacks so xApps can react to
+new telemetry.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Optional
+
+from repro import wire
+
+WatchCallback = Callable[[str, str, Any], None]  # (namespace, key, value)
+
+
+class SdlError(KeyError):
+    """Raised when a key is missing."""
+
+
+class SharedDataLayer:
+    """Namespaced key-value store with watch support."""
+
+    def __init__(self) -> None:
+        self._data: dict[str, dict[str, bytes]] = {}
+        self._watchers: dict[str, list[WatchCallback]] = {}
+        self.writes = 0
+        self.reads = 0
+
+    # -- core KV -------------------------------------------------------------
+
+    def set(self, namespace: str, key: str, value: Any) -> None:
+        """Store ``value`` (must be wire-encodable) under ``namespace/key``."""
+        encoded = wire.encode(value)
+        self._data.setdefault(namespace, {})[key] = encoded
+        self.writes += 1
+        for callback in self._watchers.get(namespace, []):
+            callback(namespace, key, value)
+
+    def get(self, namespace: str, key: str, default: Any = None) -> Any:
+        self.reads += 1
+        ns = self._data.get(namespace)
+        if ns is None or key not in ns:
+            return default
+        return wire.decode(ns[key])
+
+    def require(self, namespace: str, key: str) -> Any:
+        value = self.get(namespace, key, default=_MISSING)
+        if value is _MISSING:
+            raise SdlError(f"{namespace}/{key} not found")
+        return value
+
+    def delete(self, namespace: str, key: str) -> bool:
+        ns = self._data.get(namespace)
+        if ns is None or key not in ns:
+            return False
+        del ns[key]
+        return True
+
+    def keys(self, namespace: str) -> list[str]:
+        return sorted(self._data.get(namespace, {}))
+
+    def namespaces(self) -> list[str]:
+        return sorted(self._data)
+
+    # -- append-only lists (telemetry queues) ----------------------------------
+
+    def append(self, namespace: str, key: str, item: Any) -> int:
+        """Append to a list value, creating it if needed. Returns new length."""
+        current = self.get(namespace, key, default=[])
+        if not isinstance(current, list):
+            raise TypeError(f"{namespace}/{key} is not a list")
+        current.append(item)
+        self.set(namespace, key, current)
+        return len(current)
+
+    def items(self, namespace: str) -> Iterator[tuple[str, Any]]:
+        for key in self.keys(namespace):
+            yield key, self.get(namespace, key)
+
+    # -- watches -----------------------------------------------------------------
+
+    def watch(self, namespace: str, callback: WatchCallback) -> None:
+        """Call ``callback`` on every write into ``namespace``."""
+        self._watchers.setdefault(namespace, []).append(callback)
+
+    def unwatch(self, namespace: str, callback: WatchCallback) -> None:
+        watchers = self._watchers.get(namespace, [])
+        if callback in watchers:
+            watchers.remove(callback)
+
+
+_MISSING = object()

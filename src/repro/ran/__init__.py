@@ -1,0 +1,41 @@
+"""Simulated 5G standalone (SA) radio access network and core.
+
+This package is the substitute for the paper's testbed substrate
+(OpenAirInterface gNB + core, USRP B210 RU, commodity handsets): a
+discrete-event simulation of the layer-3 control plane that the 6G-XSec
+telemetry pipeline observes. It models:
+
+- identifier spaces (RNTI, 5G-S-TMSI, SUPI/SUCI, GUTI) — :mod:`.identifiers`
+- 5G security algorithms and a simplified 5G-AKA — :mod:`.security`
+- RRC and NAS control messages and procedures — :mod:`.rrc`, :mod:`.nas`
+- UE state machines with per-handset behaviour profiles — :mod:`.ue`
+- a gNB with CU/DU split over F1 — :mod:`.gnb`, :mod:`.f1ap`
+- a minimal 5G core (AMF/AUSF) over NGAP — :mod:`.core_network`, :mod:`.ngap`
+- a radio channel with loss, latency and man-in-the-middle hooks —
+  :mod:`.channel`
+- byte-level packet capture of F1AP/NGAP — :mod:`.pcap`
+"""
+
+from repro.ran.identifiers import (
+    GutiAllocator,
+    RntiAllocator,
+    Supi,
+    TmsiAllocator,
+    conceal_supi,
+)
+from repro.ran.security import CipherAlg, IntegrityAlg
+from repro.ran.messages import Message
+from repro.ran.network import FiveGNetwork, NetworkConfig
+
+__all__ = [
+    "GutiAllocator",
+    "RntiAllocator",
+    "Supi",
+    "TmsiAllocator",
+    "conceal_supi",
+    "CipherAlg",
+    "IntegrityAlg",
+    "Message",
+    "FiveGNetwork",
+    "NetworkConfig",
+]

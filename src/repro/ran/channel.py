@@ -1,0 +1,181 @@
+"""Simulated radio channel between UEs and the gNB DU.
+
+The channel models what matters to the telemetry pipeline:
+
+- propagation and scheduling latency,
+- occasional duplicate delivery (RLC retransmissions — the paper's §4.1
+  names these as the main false-positive cause),
+- loss of the initial RRCSetupRequest (recovered by the UE's T300 timer),
+- man-in-the-middle hooks: interceptors can observe, drop, or replace
+  frames, and an attacker can *inject* uplink frames on a victim's RNTI
+  (overshadowing, as in AdaptOver/LTrack).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Protocol, TYPE_CHECKING
+
+from repro.ran.messages import Message
+from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ran.ue import UserEquipment
+
+
+class UplinkSink(Protocol):
+    """What the channel delivers uplink frames to (the gNB DU)."""
+
+    def on_uplink(self, ue: "UserEquipment", rnti: Optional[int], message: Message) -> None:
+        ...
+
+
+# Interceptor contract: return the (possibly replaced) message, or None to
+# drop the frame. Called before delivery.
+DownlinkInterceptor = Callable[[int, Message], Optional[Message]]
+UplinkInterceptor = Callable[["UserEquipment", Optional[int], Message], Optional[Message]]
+
+
+@dataclass
+class ChannelConfig:
+    """Tunable channel behaviour."""
+
+    latency_s: float = 0.002
+    jitter_s: float = 0.001
+    # Probability that a delivered frame is delivered twice (RLC retx).
+    duplicate_prob: float = 0.0
+    # Probability the initial RRCSetupRequest is lost (UE retries on T300).
+    setup_loss_prob: float = 0.0
+
+
+class RadioChannel:
+    """Delivers RRC frames between UEs and a DU with noise and MiTM hooks."""
+
+    def __init__(self, sim: Simulator, config: Optional[ChannelConfig] = None) -> None:
+        self.sim = sim
+        self.config = config or ChannelConfig()
+        self._du: Optional[UplinkSink] = None
+        self._rnti_to_ue: dict[int, "UserEquipment"] = {}
+        self._attached_ues: list["UserEquipment"] = []
+        self._dl_interceptors: list[DownlinkInterceptor] = []
+        self._ul_interceptors: list[UplinkInterceptor] = []
+        self._bind_listeners: list[Callable[[int, "UserEquipment"], None]] = []
+        self._rng = sim.rng.stream("channel")
+        self.frames_delivered = 0
+        self.frames_dropped = 0
+        self.frames_duplicated = 0
+
+    # -- topology ----------------------------------------------------------
+
+    def attach_du(self, du: UplinkSink) -> None:
+        self._du = du
+
+    def attach_ue(self, ue: "UserEquipment") -> None:
+        """Register a UE camped on this cell (receives broadcasts)."""
+        if ue not in self._attached_ues:
+            self._attached_ues.append(ue)
+
+    def bind_rnti(self, rnti: int, ue: "UserEquipment") -> None:
+        """Record which UE a downlink RNTI addresses (set by the DU)."""
+        self._rnti_to_ue[rnti] = ue
+        for listener in self._bind_listeners:
+            listener(rnti, ue)
+
+    def add_bind_listener(self, fn: Callable[[int, "UserEquipment"], None]) -> None:
+        """Observe RNTI->UE bindings (used for attack ground truth)."""
+        self._bind_listeners.append(fn)
+
+    def unbind_rnti(self, rnti: int) -> None:
+        self._rnti_to_ue.pop(rnti, None)
+
+    def ue_for_rnti(self, rnti: int) -> Optional["UserEquipment"]:
+        return self._rnti_to_ue.get(rnti)
+
+    # -- MiTM hooks --------------------------------------------------------
+
+    def add_downlink_interceptor(self, fn: DownlinkInterceptor) -> None:
+        self._dl_interceptors.append(fn)
+
+    def add_uplink_interceptor(self, fn: UplinkInterceptor) -> None:
+        self._ul_interceptors.append(fn)
+
+    def remove_downlink_interceptor(self, fn: DownlinkInterceptor) -> None:
+        self._dl_interceptors.remove(fn)
+
+    def remove_uplink_interceptor(self, fn: UplinkInterceptor) -> None:
+        self._ul_interceptors.remove(fn)
+
+    # -- transmission ------------------------------------------------------
+
+    def _delay(self) -> float:
+        return self.config.latency_s + self._rng.uniform(0, self.config.jitter_s)
+
+    def uplink(self, ue: "UserEquipment", rnti: Optional[int], message: Message) -> None:
+        """UE transmits an uplink RRC frame (rnti None = initial access)."""
+        from repro.ran.rrc import RrcSetupRequest
+
+        if (
+            isinstance(message, RrcSetupRequest)
+            and self._rng.random() < self.config.setup_loss_prob
+        ):
+            self.frames_dropped += 1
+            return
+        for interceptor in self._ul_interceptors:
+            replaced = interceptor(ue, rnti, message)
+            if replaced is None:
+                self.frames_dropped += 1
+                return
+            message = replaced
+        self._deliver_uplink(ue, rnti, message)
+        if self._rng.random() < self.config.duplicate_prob:
+            self.frames_duplicated += 1
+            self._deliver_uplink(ue, rnti, message)
+
+    def inject_uplink(self, victim: "UserEquipment", rnti: Optional[int], message: Message) -> None:
+        """Attacker overshadows the uplink: the DU receives ``message`` as if
+        ``victim`` sent it. Bypasses interceptors (the attacker *is* the MiTM)."""
+        self._deliver_uplink(victim, rnti, message)
+
+    def _deliver_uplink(self, ue: "UserEquipment", rnti: Optional[int], message: Message) -> None:
+        if self._du is None:
+            raise RuntimeError("no DU attached to channel")
+        du = self._du
+        self.frames_delivered += 1
+        self.sim.schedule(
+            self._delay(), lambda: du.on_uplink(ue, rnti, message), name="channel.ul"
+        )
+
+    def broadcast(self, message: Message) -> None:
+        """Deliver a broadcast frame (e.g. Paging) to every camped UE.
+
+        Delivered with RNTI 0 — connected UEs ignore it (their dedicated
+        RNTI differs); idle UEs process it."""
+        for ue in self._attached_ues:
+            self.frames_delivered += 1
+            self.sim.schedule(
+                self._delay(),
+                lambda u=ue: u.on_downlink(0, message),
+                name="channel.bcast",
+            )
+
+    def downlink(self, rnti: int, message: Message) -> None:
+        """DU transmits a downlink RRC frame addressed by RNTI."""
+        for interceptor in self._dl_interceptors:
+            replaced = interceptor(rnti, message)
+            if replaced is None:
+                self.frames_dropped += 1
+                return
+            message = replaced
+        ue = self._rnti_to_ue.get(rnti)
+        if ue is None:
+            self.frames_dropped += 1
+            return
+        self.frames_delivered += 1
+        self.sim.schedule(
+            self._delay(), lambda: ue.on_downlink(rnti, message), name="channel.dl"
+        )
+        if self._rng.random() < self.config.duplicate_prob:
+            self.frames_duplicated += 1
+            self.sim.schedule(
+                self._delay(), lambda: ue.on_downlink(rnti, message), name="channel.dl.dup"
+            )

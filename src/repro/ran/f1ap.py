@@ -1,0 +1,112 @@
+"""F1 Application Protocol messages between the DU and CU (TS 38.473).
+
+The paper's RIC agent instruments F1AP to extract telemetry, so these
+envelopes carry exactly the fields the MobiFlow collector parses: the UE's
+C-RNTI, the DU/CU UE identifiers, and the RRC message container (the encoded
+RRC PDU).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ran.messages import Direction, Message, Protocol
+
+
+@dataclass
+class F1InitialUlRrcMessageTransfer(Message):
+    """DU -> CU: first uplink RRC message of a new UE (carries C-RNTI)."""
+
+    NAME = "F1InitialULRRCMessageTransfer"
+    PROTOCOL = Protocol.RRC
+    DIRECTION = Direction.UPLINK
+
+    gnb_du_ue_id: int = 0
+    c_rnti: int = 0
+    rrc_container: bytes = b""
+
+
+@dataclass
+class F1UlRrcMessageTransfer(Message):
+    """DU -> CU: subsequent uplink RRC message for an established UE."""
+
+    NAME = "F1ULRRCMessageTransfer"
+    PROTOCOL = Protocol.RRC
+    DIRECTION = Direction.UPLINK
+
+    gnb_du_ue_id: int = 0
+    gnb_cu_ue_id: int = 0
+    rrc_container: bytes = b""
+
+
+@dataclass
+class F1DlRrcMessageTransfer(Message):
+    """CU -> DU: downlink RRC message to forward over the air."""
+
+    NAME = "F1DLRRCMessageTransfer"
+    PROTOCOL = Protocol.RRC
+    DIRECTION = Direction.DOWNLINK
+
+    gnb_du_ue_id: int = 0
+    gnb_cu_ue_id: int = 0
+    rrc_container: bytes = b""
+
+
+@dataclass
+class F1Paging(Message):
+    """CU -> DU: page an idle UE over the cell (broadcast on the radio)."""
+
+    NAME = "F1Paging"
+    PROTOCOL = Protocol.RRC
+    DIRECTION = Direction.DOWNLINK
+
+    s_tmsi: int = 0
+
+
+@dataclass
+class F1UeContextSetupRequest(Message):
+    """CU -> DU: establish the UE context (bearers) at the DU."""
+
+    NAME = "F1UEContextSetupRequest"
+    PROTOCOL = Protocol.RRC
+    DIRECTION = Direction.DOWNLINK
+
+    gnb_du_ue_id: int = 0
+    gnb_cu_ue_id: int = 0
+
+
+@dataclass
+class F1UeContextSetupResponse(Message):
+    """DU -> CU: UE context established."""
+
+    NAME = "F1UEContextSetupResponse"
+    PROTOCOL = Protocol.RRC
+    DIRECTION = Direction.UPLINK
+
+    gnb_du_ue_id: int = 0
+    gnb_cu_ue_id: int = 0
+
+
+@dataclass
+class F1UeContextReleaseCommand(Message):
+    """CU -> DU: tear down the UE context (frees the RNTI)."""
+
+    NAME = "F1UEContextReleaseCommand"
+    PROTOCOL = Protocol.RRC
+    DIRECTION = Direction.DOWNLINK
+
+    gnb_du_ue_id: int = 0
+    gnb_cu_ue_id: int = 0
+    cause: str = "normal"
+
+
+@dataclass
+class F1UeContextReleaseComplete(Message):
+    """DU -> CU: UE context released."""
+
+    NAME = "F1UEContextReleaseComplete"
+    PROTOCOL = Protocol.RRC
+    DIRECTION = Direction.UPLINK
+
+    gnb_du_ue_id: int = 0
+    gnb_cu_ue_id: int = 0

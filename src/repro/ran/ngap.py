@@ -1,0 +1,128 @@
+"""NG Application Protocol messages between the CU and AMF (TS 38.413).
+
+NGAP carries the NAS PDUs; the MobiFlow collector parses these envelopes for
+the NAS-layer telemetry (registration identities, authentication flow,
+selected security algorithms).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ran.messages import Direction, Message, Protocol
+
+
+@dataclass
+class NgInitialUeMessage(Message):
+    """CU -> AMF: first NAS message of a UE (inside RRCSetupComplete)."""
+
+    NAME = "NGInitialUEMessage"
+    PROTOCOL = Protocol.NAS
+    DIRECTION = Direction.UPLINK
+
+    ran_ue_id: int = 0
+    nas_pdu: bytes = b""
+    establishment_cause: str = ""
+
+
+@dataclass
+class NgUplinkNasTransport(Message):
+    """CU -> AMF: subsequent uplink NAS PDU."""
+
+    NAME = "NGUplinkNASTransport"
+    PROTOCOL = Protocol.NAS
+    DIRECTION = Direction.UPLINK
+
+    ran_ue_id: int = 0
+    amf_ue_id: int = 0
+    nas_pdu: bytes = b""
+
+
+@dataclass
+class NgDownlinkNasTransport(Message):
+    """AMF -> CU: downlink NAS PDU to deliver to the UE."""
+
+    NAME = "NGDownlinkNASTransport"
+    PROTOCOL = Protocol.NAS
+    DIRECTION = Direction.DOWNLINK
+
+    ran_ue_id: int = 0
+    amf_ue_id: int = 0
+    nas_pdu: bytes = b""
+
+
+@dataclass
+class NgInitialContextSetupRequest(Message):
+    """AMF -> CU: establish the secured UE context (triggers AS security)."""
+
+    NAME = "NGInitialContextSetupRequest"
+    PROTOCOL = Protocol.NAS
+    DIRECTION = Direction.DOWNLINK
+
+    ran_ue_id: int = 0
+    amf_ue_id: int = 0
+    # Security material for the AS: key + allowed algorithms.
+    kgnb: bytes = b""
+    cipher_alg: int = 0
+    integrity_alg: int = 0
+
+
+@dataclass
+class NgInitialContextSetupResponse(Message):
+    """CU -> AMF: secured context established."""
+
+    NAME = "NGInitialContextSetupResponse"
+    PROTOCOL = Protocol.NAS
+    DIRECTION = Direction.UPLINK
+
+    ran_ue_id: int = 0
+    amf_ue_id: int = 0
+
+
+@dataclass
+class NgUeContextReleaseRequest(Message):
+    """CU -> AMF: CU asks to release a UE (e.g. inactivity timeout)."""
+
+    NAME = "NGUEContextReleaseRequest"
+    PROTOCOL = Protocol.NAS
+    DIRECTION = Direction.UPLINK
+
+    ran_ue_id: int = 0
+    amf_ue_id: int = 0
+    cause: str = "user-inactivity"
+
+
+@dataclass
+class NgUeContextReleaseCommand(Message):
+    """AMF -> CU: release the UE's NG context."""
+
+    NAME = "NGUEContextReleaseCommand"
+    PROTOCOL = Protocol.NAS
+    DIRECTION = Direction.DOWNLINK
+
+    ran_ue_id: int = 0
+    amf_ue_id: int = 0
+    cause: str = "normal"
+
+
+@dataclass
+class NgUeContextReleaseComplete(Message):
+    """CU -> AMF: NG context released."""
+
+    NAME = "NGUEContextReleaseComplete"
+    PROTOCOL = Protocol.NAS
+    DIRECTION = Direction.UPLINK
+
+    ran_ue_id: int = 0
+    amf_ue_id: int = 0
+
+
+@dataclass
+class NgPaging(Message):
+    """AMF -> CU: page an idle UE."""
+
+    NAME = "NGPaging"
+    PROTOCOL = Protocol.NAS
+    DIRECTION = Direction.DOWNLINK
+
+    s_tmsi: int = 0

@@ -1,0 +1,157 @@
+"""Discrete-event simulation engine.
+
+The engine models time as a float number of seconds. Events are callbacks
+scheduled at absolute times; ties are broken by insertion order so runs are
+deterministic. The :class:`Simulator` owns the clock, the event queue, and a
+registry of named RNG streams (see :mod:`repro.sim.rng`).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.sim.rng import RngRegistry
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation is driven into an invalid state."""
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled event.
+
+    Events order by ``(time, seq)``; ``seq`` is a monotonically increasing
+    tie-breaker so two events at the same instant fire in scheduling order.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[[], Any] = field(compare=False)
+    name: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A cancellable priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def push(self, time: float, callback: Callable[[], Any], name: str = "") -> Event:
+        event = Event(time=time, seq=next(self._counter), callback=callback, name=name)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Pop the earliest non-cancelled event, or ``None`` if empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+
+class Simulator:
+    """Discrete-event simulator with a simulated clock.
+
+    Usage::
+
+        sim = Simulator(seed=7)
+        sim.schedule(1.5, lambda: print("fires at t=1.5"))
+        sim.run()
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._running = False
+        self._events_processed = 0
+        self.rng = RngRegistry(seed)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued."""
+        return len(self._queue)
+
+    def schedule(
+        self, delay: float, callback: Callable[[], Any], name: str = ""
+    ) -> Event:
+        """Schedule ``callback`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self._queue.push(self._now + delay, callback, name=name)
+
+    def schedule_at(
+        self, time: float, callback: Callable[[], Any], name: str = ""
+    ) -> Event:
+        """Schedule ``callback`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} < now={self._now}"
+            )
+        return self._queue.push(time, callback, name=name)
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run events until the queue is empty, ``until`` is reached, or
+        ``max_events`` have fired. Returns the number of events processed.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run())")
+        self._running = True
+        processed = 0
+        try:
+            while True:
+                if max_events is not None and processed >= max_events:
+                    break
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self._now = until
+                    break
+                event = self._queue.pop()
+                if event is None:
+                    break
+                self._now = event.time
+                event.callback()
+                processed += 1
+                self._events_processed += 1
+        finally:
+            self._running = False
+        return processed
+
+    def step(self) -> bool:
+        """Fire exactly the next event. Returns False if the queue is empty."""
+        event = self._queue.pop()
+        if event is None:
+            return False
+        self._now = event.time
+        event.callback()
+        self._events_processed += 1
+        return True

@@ -1,0 +1,28 @@
+"""MobiFlow security telemetry (paper §3.1, Table 1).
+
+The data plane is instrumented to emit one multivariate record per control
+message: ``x_i = [t_i, m_i, p_1..p_k]`` where ``m_i`` is the RRC/NAS message
+and ``p_k`` are UE-specific parameters (RNTI, S-TMSI, SUPI, cipher/integrity
+algorithm, establishment cause). This package holds the record schema, the
+F1AP/NGAP parser that extracts records from capture streams, the key-value
+wire encoding used for E2 reporting, the one-hot/sliding-window featurizer,
+and the dataset containers with the paper's labeling rules.
+"""
+
+from repro.telemetry.mobiflow import MobiFlowRecord, TelemetrySeries
+from repro.telemetry.collector import MobiFlowCollector
+from repro.telemetry.encoder import decode_record, encode_record
+from repro.telemetry.features import FeatureSpec, WindowedDataset
+from repro.telemetry.dataset import LabeledDataset, label_sequences
+
+__all__ = [
+    "MobiFlowRecord",
+    "TelemetrySeries",
+    "MobiFlowCollector",
+    "encode_record",
+    "decode_record",
+    "FeatureSpec",
+    "WindowedDataset",
+    "LabeledDataset",
+    "label_sequences",
+]

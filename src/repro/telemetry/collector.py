@@ -1,0 +1,202 @@
+"""F1AP/NGAP -> MobiFlow parsing (the paper's RIC-agent extraction logic).
+
+The collector consumes capture records from the F1 and NG interfaces and
+produces the per-message MobiFlow telemetry entries. It can run in two
+modes:
+
+- **offline**: parse a recorded :class:`~repro.ran.pcap.PcapStream` (how the
+  paper builds its datasets from pcap files);
+- **live**: attach :meth:`on_capture` as a link tap, and subscribe to be
+  notified per record (how the E2 RIC agent streams telemetry at run time).
+
+Emission policy: RRC messages are extracted from F1AP containers; NAS
+messages are extracted from NGAP transports (each NAS PDU crosses NG
+exactly once, so nothing is double-counted). Pure transport wrappers
+(UL/DLInformationTransfer, the F1/NG envelopes themselves) do not produce
+entries — matching the message sequences shown in the paper's Figure 2.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Optional
+
+from repro.ran import f1ap, ngap
+from repro.ran.messages import Message
+from repro.ran import nas as nas_messages
+from repro.ran import rrc as rrc_messages
+from repro.ran.pcap import PcapStream
+from repro.telemetry.mobiflow import MobiFlowRecord, TelemetrySeries
+
+Subscriber = Callable[[MobiFlowRecord], None]
+
+# RRC messages that are transport wrappers only (their NAS payload is
+# collected from NGAP instead).
+_RRC_WRAPPERS = {
+    rrc_messages.RrcUlInformationTransfer,
+    rrc_messages.RrcDlInformationTransfer,
+}
+
+
+def _tmsi_from_guti(guti: str) -> Optional[int]:
+    try:
+        return int(guti.rsplit("-", 1)[1], 16)
+    except (IndexError, ValueError):
+        return None
+
+
+class MobiFlowCollector:
+    """Stateful parser from interface captures to MobiFlow records."""
+
+    def __init__(self) -> None:
+        self.series = TelemetrySeries()
+        self._subscribers: list[Subscriber] = []
+        self._session_ids = itertools.count(1)
+        # Wiring state learned from the envelopes.
+        self._du_id_to_rnti: dict[int, int] = {}
+        self._du_id_to_cu_id: dict[int, int] = {}
+        self._cu_id_to_rnti: dict[int, int] = {}
+        self._rnti_session: dict[int, int] = {}
+        # Per-session state parameters (latest observed algorithms etc.).
+        self._session_tmsi: dict[int, int] = {}
+
+    def subscribe(self, fn: Subscriber) -> None:
+        """Receive each MobiFlow record as it is produced (live mode)."""
+        self._subscribers.append(fn)
+
+    # -- entry points -------------------------------------------------------
+
+    def parse_stream(self, stream: PcapStream) -> TelemetrySeries:
+        """Offline mode: parse a whole capture, return the telemetry series."""
+        for record in stream:
+            self.on_capture(record.timestamp, record.interface, record.decode())
+        return self.series
+
+    def on_capture(self, timestamp: float, interface: str, message: Message) -> None:
+        """Live mode: handle one captured interface envelope."""
+        if interface == "F1AP":
+            self._on_f1(timestamp, message)
+        elif interface == "NGAP":
+            self._on_ng(timestamp, message)
+        else:
+            raise ValueError(f"unknown interface {interface!r}")
+
+    # -- F1AP ------------------------------------------------------------------
+
+    def _on_f1(self, timestamp: float, message: Message) -> None:
+        if isinstance(message, f1ap.F1InitialUlRrcMessageTransfer):
+            rnti = message.c_rnti
+            self._du_id_to_rnti[message.gnb_du_ue_id] = rnti
+            session = next(self._session_ids)
+            self._rnti_session[rnti] = session
+            rrc = Message.from_wire(message.rrc_container)
+            self._emit_rrc(timestamp, rnti, rrc)
+        elif isinstance(message, f1ap.F1UlRrcMessageTransfer):
+            rnti = self._du_id_to_rnti.get(message.gnb_du_ue_id)
+            if rnti is None:
+                return
+            rrc = Message.from_wire(message.rrc_container)
+            self._emit_rrc(timestamp, rnti, rrc)
+        elif isinstance(message, f1ap.F1Paging):
+            # Broadcast paging: not tied to any connection (session 0).
+            self._append(
+                MobiFlowRecord(
+                    timestamp=timestamp,
+                    msg="Paging",
+                    protocol="RRC",
+                    direction="DL",
+                    session_id=0,
+                    s_tmsi=message.s_tmsi,
+                )
+            )
+        elif isinstance(message, f1ap.F1DlRrcMessageTransfer):
+            rnti = self._du_id_to_rnti.get(message.gnb_du_ue_id)
+            if rnti is None:
+                return
+            self._du_id_to_cu_id[message.gnb_du_ue_id] = message.gnb_cu_ue_id
+            self._cu_id_to_rnti[message.gnb_cu_ue_id] = rnti
+            rrc = Message.from_wire(message.rrc_container)
+            self._emit_rrc(timestamp, rnti, rrc)
+        # F1 context management envelopes carry no UE control-plane telemetry.
+
+    def _emit_rrc(self, timestamp: float, rnti: int, rrc: Message) -> None:
+        if type(rrc) in _RRC_WRAPPERS:
+            return
+        session = self._rnti_session.get(rnti, 0)
+        kwargs: dict = {}
+        if isinstance(rrc, rrc_messages.RrcSetupRequest):
+            kwargs["establishment_cause"] = rrc.establishment_cause.value
+            if rrc.identity_is_tmsi:
+                kwargs["s_tmsi"] = rrc.ue_identity
+                self._session_tmsi[session] = rrc.ue_identity
+        elif isinstance(rrc, rrc_messages.RrcSecurityModeCommand):
+            kwargs["cipher_alg"] = int(rrc.cipher_alg)
+            kwargs["integrity_alg"] = int(rrc.integrity_alg)
+        self._append(
+            MobiFlowRecord(
+                timestamp=timestamp,
+                msg=rrc.name,
+                protocol="RRC",
+                direction=rrc.direction.value,
+                session_id=session,
+                rnti=rnti,
+                s_tmsi=kwargs.pop("s_tmsi", self._session_tmsi.get(session)),
+                **kwargs,
+            )
+        )
+
+    # -- NGAP ---------------------------------------------------------------------
+
+    def _on_ng(self, timestamp: float, message: Message) -> None:
+        if isinstance(message, ngap.NgInitialUeMessage):
+            rnti = self._cu_id_to_rnti.get(message.ran_ue_id)
+            self._emit_nas(timestamp, rnti, Message.from_wire(message.nas_pdu))
+        elif isinstance(message, (ngap.NgUplinkNasTransport, ngap.NgDownlinkNasTransport)):
+            rnti = self._cu_id_to_rnti.get(message.ran_ue_id)
+            self._emit_nas(timestamp, rnti, Message.from_wire(message.nas_pdu))
+        # Context setup/release and paging envelopes carry no NAS PDU.
+
+    def _emit_nas(self, timestamp: float, rnti: Optional[int], nas: Message) -> None:
+        session = self._rnti_session.get(rnti, 0) if rnti is not None else 0
+        kwargs: dict = {}
+        if isinstance(nas, nas_messages.RegistrationRequest):
+            if nas.suci:
+                kwargs["suci"] = nas.suci
+            if nas.guti:
+                tmsi = _tmsi_from_guti(nas.guti)
+                if tmsi is not None:
+                    kwargs["s_tmsi"] = tmsi
+                    self._session_tmsi[session] = tmsi
+        elif isinstance(nas, nas_messages.IdentityResponse):
+            if nas.identity_type is nas_messages.IdentityType.SUPI:
+                kwargs["supi"] = nas.identity_value
+            elif nas.identity_type is nas_messages.IdentityType.SUCI:
+                kwargs["suci"] = nas.identity_value
+        elif isinstance(nas, nas_messages.NasSecurityModeCommand):
+            kwargs["cipher_alg"] = int(nas.cipher_alg)
+            kwargs["integrity_alg"] = int(nas.integrity_alg)
+        elif isinstance(nas, nas_messages.RegistrationAccept):
+            tmsi = _tmsi_from_guti(nas.guti)
+            if tmsi is not None:
+                kwargs["s_tmsi"] = tmsi
+                self._session_tmsi[session] = tmsi
+        elif isinstance(nas, nas_messages.ServiceRequest):
+            kwargs["s_tmsi"] = nas.s_tmsi
+            self._session_tmsi[session] = nas.s_tmsi
+        self._append(
+            MobiFlowRecord(
+                timestamp=timestamp,
+                msg=nas.name,
+                protocol="NAS",
+                direction=nas.direction.value,
+                session_id=session,
+                rnti=rnti,
+                s_tmsi=kwargs.pop("s_tmsi", self._session_tmsi.get(session)),
+                **kwargs,
+            )
+        )
+
+    def _append(self, record: MobiFlowRecord) -> None:
+        self.series.append(record)
+        for subscriber in self._subscribers:
+            subscriber(record)

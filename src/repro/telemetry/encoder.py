@@ -1,0 +1,41 @@
+"""Key-value wire encoding of MobiFlow records for E2 reporting.
+
+Paper §3.1: *"the telemetry can be encoded as (key, value) data"* inside the
+extended E2SM-KPM report. Only non-null fields are encoded, keeping the
+indication payload compact.
+"""
+
+from __future__ import annotations
+
+from repro import wire
+from repro.telemetry.mobiflow import MobiFlowRecord
+
+
+def encode_record(record: MobiFlowRecord) -> bytes:
+    """Encode one MobiFlow record as compact (key, value) TLV bytes."""
+    payload = {k: v for k, v in record.to_dict().items() if v is not None}
+    return wire.encode(payload)
+
+
+def decode_record(data: bytes) -> MobiFlowRecord:
+    """Inverse of :func:`encode_record`."""
+    payload = wire.decode(data)
+    if not isinstance(payload, dict):
+        raise wire.WireError("MobiFlow KV payload is not a dict")
+    return MobiFlowRecord.from_dict(payload)
+
+
+def encode_batch(records: list[MobiFlowRecord]) -> bytes:
+    """Encode a telemetry batch (one E2 indication per report interval)."""
+    return wire.encode([
+        {k: v for k, v in record.to_dict().items() if v is not None}
+        for record in records
+    ])
+
+
+def decode_batch(data: bytes) -> list[MobiFlowRecord]:
+    """Inverse of :func:`encode_batch`."""
+    payload = wire.decode(data)
+    if not isinstance(payload, list):
+        raise wire.WireError("MobiFlow batch payload is not a list")
+    return [MobiFlowRecord.from_dict(item) for item in payload]

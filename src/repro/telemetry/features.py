@@ -1,0 +1,387 @@
+"""Featurization of MobiFlow telemetry for the unsupervised models (§3.2).
+
+The paper one-hot encodes the categorical variables of each telemetry entry
+and slides a window of size ``N`` over the series, so each model input is a
+sequence ``S_i = {x_i .. x_{i+N-1}}`` flattened to a vector.
+
+Per-entry features (all categorical, matching the paper's choice to use
+"categorical features in the security telemetry ... including the control
+messages and device identifiers such as UE's RNTI and TMSI"):
+
+- message name (one-hot over the protocol vocabulary + "other"),
+- link direction,
+- establishment cause,
+- ciphering / integrity algorithm identifiers,
+- identifier-derived flags: fresh session start, temporary identity reused
+  from a *different* session (the RNTI/TMSI relation features), permanent
+  identity exposed in plaintext, message repeated back-to-back,
+- inter-arrival-time bucket (captures flooding cadence).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.telemetry.mobiflow import MobiFlowRecord, TelemetrySeries
+
+# Message vocabulary: the control-plane messages the collector emits.
+DEFAULT_MESSAGE_VOCAB: tuple[str, ...] = (
+    "RRCSetupRequest",
+    "RRCSetup",
+    "RRCSetupComplete",
+    "RRCReject",
+    "RRCSecurityModeCommand",
+    "RRCSecurityModeComplete",
+    "RRCSecurityModeFailure",
+    "RRCReconfiguration",
+    "RRCReconfigurationComplete",
+    "RRCRelease",
+    "MeasurementReport",
+    "Paging",
+    "RRCReestablishmentRequest",
+    "RegistrationRequest",
+    "AuthenticationRequest",
+    "AuthenticationResponse",
+    "AuthenticationFailure",
+    "AuthenticationReject",
+    "IdentityRequest",
+    "IdentityResponse",
+    "NASSecurityModeCommand",
+    "NASSecurityModeComplete",
+    "NASSecurityModeReject",
+    "RegistrationAccept",
+    "RegistrationComplete",
+    "RegistrationReject",
+    "ServiceRequest",
+    "ServiceAccept",
+    "ServiceReject",
+    "ConfigurationUpdateCommand",
+    "DeregistrationRequest",
+    "DeregistrationAccept",
+)
+
+DEFAULT_CAUSE_VOCAB: tuple[str, ...] = (
+    "emergency",
+    "highPriorityAccess",
+    "mt-Access",
+    "mo-Signalling",
+    "mo-Data",
+    "mo-VoiceCall",
+    "mo-SMS",
+    "mps-PriorityAccess",
+)
+
+# Inter-arrival-time bucket upper bounds (seconds); last bucket is open.
+DEFAULT_IAT_BUCKETS: tuple[float, ...] = (0.01, 0.05, 0.2, 1.0)
+
+_ALG_SLOTS = 5  # NEA0..NEA3 / NIA0..NIA3 + "absent"
+
+# Rate features: counts within a trailing window, clipped into buckets
+# {0, 1, 2, 3+}. Connection floods (BTS DoS) land in the top bucket.
+_RATE_WINDOW_S = 1.0
+_RATE_SLOTS = 4
+
+# Uses of one TMSI separated by less than this merge into one usage episode
+# (covers RLC duplicates and T300 retries, which re-present the identity).
+_TMSI_EPISODE_HORIZON_S = 1.0
+
+
+@dataclass(frozen=True)
+class FeatureSpec:
+    """Defines the per-entry feature encoding. Frozen so a spec trained
+    against stays byte-identical at inference time."""
+
+    message_vocab: tuple[str, ...] = DEFAULT_MESSAGE_VOCAB
+    cause_vocab: tuple[str, ...] = DEFAULT_CAUSE_VOCAB
+    iat_buckets: tuple[float, ...] = DEFAULT_IAT_BUCKETS
+    include_messages: bool = True
+    include_identifiers: bool = True
+    include_state: bool = True
+    include_timing: bool = True
+    include_rates: bool = True
+    # Feature-group weights: security-relevant rare bits carry more signal
+    # per dimension than the bulky message one-hot, so reconstruction /
+    # prediction errors on them are amplified. Set both to 1.0 for an
+    # unweighted encoding (ablation A3 covers this choice).
+    identifier_weight: float = 3.0
+    state_weight: float = 2.0
+
+    @property
+    def dim(self) -> int:
+        dim = 0
+        if self.include_messages:
+            dim += len(self.message_vocab) + 1  # + other
+            dim += 2  # direction
+        if self.include_state:
+            dim += len(self.cause_vocab) + 1  # + absent
+            dim += 2 * _ALG_SLOTS
+        if self.include_identifiers:
+            dim += 4  # new_session, tmsi_reused, identity_exposed, repeated
+        if self.include_timing:
+            dim += len(self.iat_buckets) + 1
+        if self.include_rates:
+            dim += 2 * _RATE_SLOTS  # setup-request rate, session churn
+        return dim
+
+    def feature_names(self) -> list[str]:
+        names: list[str] = []
+        if self.include_messages:
+            names += [f"msg={m}" for m in self.message_vocab] + ["msg=<other>"]
+            names += ["dir=UL", "dir=DL"]
+        if self.include_state:
+            names += [f"cause={c}" for c in self.cause_vocab] + ["cause=<absent>"]
+            names += [f"cipher={i}" for i in range(4)] + ["cipher=<absent>"]
+            names += [f"integrity={i}" for i in range(4)] + ["integrity=<absent>"]
+        if self.include_identifiers:
+            names += ["new_session", "tmsi_reused", "identity_exposed", "repeated_msg"]
+        if self.include_timing:
+            bounds = [f"iat<{b}" for b in self.iat_buckets] + ["iat>=last"]
+            names += bounds
+        if self.include_rates:
+            names += [f"setup_rate={i}" for i in ("0", "1", "2", "3+")]
+            names += [f"session_churn={i}" for i in ("0", "1", "2", "3+")]
+        if len(names) != self.dim:
+            raise AssertionError("feature_names out of sync with dim")
+        return names
+
+    # -- encoding ------------------------------------------------------------
+
+    def streaming_encoder(self) -> "StreamingEncoder":
+        """A stateful per-record encoder for live pipelines."""
+        return StreamingEncoder(self)
+
+    def encode_series(self, series: TelemetrySeries) -> np.ndarray:
+        """Encode a telemetry series to an ``[M, dim]`` float32 matrix.
+
+        The identifier-relation flags are computed causally: each entry only
+        looks at entries before it, so live inference (via
+        :meth:`streaming_encoder`) sees exactly the same features.
+        """
+        encoder = self.streaming_encoder()
+        records = series.records
+        out = np.zeros((len(records), self.dim), dtype=np.float32)
+        for row, record in enumerate(records):
+            out[row] = encoder.push(record)
+        return out
+
+
+class StreamingEncoder:
+    """Stateful record-at-a-time featurizer (the live-inference path).
+
+    State tracked across pushes: sessions seen, per-TMSI usage episodes
+    (uses separated by more than the horizon start a new episode, so
+    retransmissions and T300 retries merge; benign GUTI reuse spans two
+    episodes, replay attacks three or more), recent setup-request and
+    session-churn rate windows, and the previous record.
+    """
+
+    def __init__(self, spec: FeatureSpec) -> None:
+        self.spec = spec
+        self._seen_sessions: set[int] = set()
+        self._tmsi_episodes: dict[int, tuple] = {}
+        self._recent_setups: list[float] = []
+        self._recent_sessions: list[tuple[float, int]] = []
+        self._churn_seen: set[int] = set()
+        self._prev: Optional[MobiFlowRecord] = None
+
+    def push(self, record: MobiFlowRecord) -> np.ndarray:
+        """Encode one record, updating the causal state."""
+        spec = self.spec
+        row = np.zeros(spec.dim, dtype=np.float32)
+        col = 0
+        if spec.include_messages:
+            try:
+                idx = spec.message_vocab.index(record.msg)
+            except ValueError:
+                idx = len(spec.message_vocab)
+            row[col + idx] = 1.0
+            col += len(spec.message_vocab) + 1
+            row[col + (0 if record.direction == "UL" else 1)] = 1.0
+            col += 2
+        if spec.include_state:
+            if record.establishment_cause is None:
+                row[col + len(spec.cause_vocab)] = 1.0
+            else:
+                try:
+                    cause_idx = spec.cause_vocab.index(record.establishment_cause)
+                except ValueError:
+                    cause_idx = len(spec.cause_vocab)
+                row[col + cause_idx] = 1.0
+            col += len(spec.cause_vocab) + 1
+            cipher = record.cipher_alg if record.cipher_alg is not None else 4
+            weight = 1.0 if cipher == 4 else spec.state_weight
+            row[col + min(cipher, 4)] = weight
+            col += _ALG_SLOTS
+            integ = record.integrity_alg if record.integrity_alg is not None else 4
+            weight = 1.0 if integ == 4 else spec.state_weight
+            row[col + min(integ, 4)] = weight
+            col += _ALG_SLOTS
+        if spec.include_identifiers:
+            new_session = record.session_id not in self._seen_sessions
+            self._seen_sessions.add(record.session_id)
+            tmsi_reused = False
+            if record.s_tmsi is not None:
+                episode = self._tmsi_episodes.get(record.s_tmsi)
+                if episode is None:
+                    count = 1
+                else:
+                    count, last_seen = episode
+                    if record.timestamp - last_seen > _TMSI_EPISODE_HORIZON_S:
+                        count += 1
+                self._tmsi_episodes[record.s_tmsi] = (count, record.timestamp)
+                tmsi_reused = count >= 3
+            row[col + 0] = float(new_session)
+            row[col + 1] = spec.identifier_weight * float(tmsi_reused)
+            row[col + 2] = spec.identifier_weight * float(
+                record.exposes_permanent_identity()
+            )
+            row[col + 3] = float(self._prev is not None and self._prev.msg == record.msg)
+            col += 4
+        if spec.include_timing:
+            iat = (
+                record.timestamp - self._prev.timestamp
+                if self._prev is not None
+                else 0.0
+            )
+            bucket = len(spec.iat_buckets)
+            for i, bound in enumerate(spec.iat_buckets):
+                if iat < bound:
+                    bucket = i
+                    break
+            row[col + bucket] = 1.0
+            col += len(spec.iat_buckets) + 1
+        if spec.include_rates:
+            horizon = record.timestamp - _RATE_WINDOW_S
+            self._recent_setups[:] = [t for t in self._recent_setups if t > horizon]
+            self._recent_sessions[:] = [
+                (t, s) for t, s in self._recent_sessions if t > horizon
+            ]
+            if record.msg == "RRCSetupRequest":
+                self._recent_setups.append(record.timestamp)
+            if record.session_id and record.session_id not in self._churn_seen:
+                self._churn_seen.add(record.session_id)
+                self._recent_sessions.append((record.timestamp, record.session_id))
+            row[col + min(len(self._recent_setups), _RATE_SLOTS - 1)] = 1.0
+            col += _RATE_SLOTS
+            row[col + min(len(self._recent_sessions), _RATE_SLOTS - 1)] = 1.0
+            col += _RATE_SLOTS
+        self._prev = record
+        return row
+
+
+def sliding_windows(matrix: np.ndarray, window: int) -> np.ndarray:
+    """Flattened sliding windows: ``[M, D] -> [M-N+1, N*D]``."""
+    if window < 1:
+        raise ValueError("window size must be >= 1")
+    m = matrix.shape[0]
+    if m < window:
+        return np.zeros((0, window * matrix.shape[1]), dtype=matrix.dtype)
+    return np.stack(
+        [matrix[i : i + window].reshape(-1) for i in range(m - window + 1)]
+    )
+
+
+@dataclass
+class WindowedDataset:
+    """Sliding-window view of a telemetry series, ready for the models.
+
+    Two windowing modes:
+
+    - ``"session"`` (default, what MobiWatch deploys): windows slide within
+      each UE session's record sequence, so the models learn the protocol
+      grammar of a connection. A session shorter than the window — e.g. a
+      connection abandoned at the authentication stage — yields a single
+      zero-left-padded window, making *uncompleted* connections (the BTS DoS
+      signature) first-class inputs. Per-record features are still computed
+      over the global time-ordered stream, so cross-session relations (TMSI
+      reuse, connection rates) survive sessionization.
+    - ``"global"``: windows slide over the raw interleaved stream (kept as
+      an ablation).
+
+    ``window_records[i]`` lists the source-record indices each window covers.
+    """
+
+    spec: FeatureSpec
+    window: int
+    windows: np.ndarray  # [num_windows, window * spec.dim]
+    per_record: np.ndarray  # [M, spec.dim]
+    window_records: list  # list[tuple[int, ...]] source indices per window
+    mode: str = "session"
+
+    @classmethod
+    def from_series(
+        cls,
+        series: TelemetrySeries,
+        spec: FeatureSpec,
+        window: int,
+        mode: str = "session",
+    ) -> "WindowedDataset":
+        if mode not in ("session", "global"):
+            raise ValueError(f"mode must be 'session' or 'global', got {mode!r}")
+        per_record = spec.encode_series(series)
+        if mode == "global":
+            windows = sliding_windows(per_record, window)
+            window_records = [
+                tuple(range(i, i + window)) for i in range(windows.shape[0])
+            ]
+            return cls(
+                spec=spec,
+                window=window,
+                windows=windows,
+                per_record=per_record,
+                window_records=window_records,
+                mode=mode,
+            )
+        # Session mode: group record indices per session, in stream order.
+        groups: dict[int, list[int]] = {}
+        for index, record in enumerate(series):
+            if record.session_id == 0:
+                continue  # untracked records (no RNTI correlation)
+            groups.setdefault(record.session_id, []).append(index)
+        rows: list[np.ndarray] = []
+        window_records = []
+        dim = spec.dim
+        for session_id in sorted(groups):
+            indices = groups[session_id]
+            if len(indices) >= window:
+                for start in range(len(indices) - window + 1):
+                    chosen = indices[start : start + window]
+                    rows.append(per_record[chosen].reshape(-1))
+                    window_records.append(tuple(chosen))
+            else:
+                # Short (possibly abandoned) session: one left-padded window.
+                padded = np.zeros((window, dim), dtype=per_record.dtype)
+                padded[window - len(indices) :] = per_record[indices]
+                rows.append(padded.reshape(-1))
+                window_records.append(tuple(indices))
+        windows = (
+            np.stack(rows)
+            if rows
+            else np.zeros((0, window * dim), dtype=per_record.dtype)
+        )
+        return cls(
+            spec=spec,
+            window=window,
+            windows=windows,
+            per_record=per_record,
+            window_records=window_records,
+            mode=mode,
+        )
+
+    @property
+    def num_windows(self) -> int:
+        return self.windows.shape[0]
+
+    def record_indices(self, window_index: int) -> tuple:
+        """Source-record indices one window covers."""
+        if not 0 <= window_index < self.num_windows:
+            raise IndexError(window_index)
+        return self.window_records[window_index]
+
+    def record_range(self, window_index: int) -> tuple[int, int]:
+        """Source-record index range ``[start, end)`` of one window."""
+        indices = self.record_indices(window_index)
+        return indices[0], indices[-1] + 1

@@ -1,0 +1,99 @@
+"""MobiFlow record schema — the paper's Table 1 telemetry.
+
+Each record is one telemetry entry ``x_i`` collected at one control-message
+transmission. Categories:
+
+- **Message**: the RRC or NAS message name and direction.
+- **Identifier**: RNTI, 5G-S-TMSI, SUCI/SUPI as observed on the wire.
+- **State**: negotiated ciphering/integrity algorithms, RRC establishment
+  cause.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields as dataclass_fields
+from typing import Any, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class MobiFlowRecord:
+    """One telemetry entry ``x_i`` (paper §3.1)."""
+
+    timestamp: float
+    msg: str
+    protocol: str  # "RRC" | "NAS"
+    direction: str  # "UL" | "DL"
+    session_id: int = 0
+    rnti: Optional[int] = None
+    s_tmsi: Optional[int] = None
+    suci: Optional[str] = None
+    supi: Optional[str] = None  # plaintext permanent identifier, if exposed
+    cipher_alg: Optional[int] = None
+    integrity_alg: Optional[int] = None
+    establishment_cause: Optional[str] = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {f.name: getattr(self, f.name) for f in dataclass_fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "MobiFlowRecord":
+        known = {f.name for f in dataclass_fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown MobiFlow fields: {sorted(unknown)}")
+        return cls(**data)
+
+    def exposes_permanent_identity(self) -> bool:
+        """True when the permanent subscriber identity is visible in clear."""
+        if self.supi:
+            return True
+        return bool(self.suci and self.suci.startswith("suci-null-"))
+
+
+class TelemetrySeries:
+    """An ordered multivariate time series ``tau = {x_1 .. x_M}``."""
+
+    def __init__(self, records: Optional[list[MobiFlowRecord]] = None) -> None:
+        self._records: list[MobiFlowRecord] = list(records or [])
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[MobiFlowRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return TelemetrySeries(self._records[index])
+        return self._records[index]
+
+    @property
+    def records(self) -> list[MobiFlowRecord]:
+        return list(self._records)
+
+    def append(self, record: MobiFlowRecord) -> None:
+        if self._records and record.timestamp < self._records[-1].timestamp:
+            raise ValueError(
+                "telemetry must be appended in timestamp order "
+                f"({record.timestamp} < {self._records[-1].timestamp})"
+            )
+        self._records.append(record)
+
+    def extend(self, records: Iterator[MobiFlowRecord]) -> None:
+        for record in records:
+            self.append(record)
+
+    def sessions(self) -> dict[int, list[MobiFlowRecord]]:
+        """Group records by session id, preserving order."""
+        out: dict[int, list[MobiFlowRecord]] = {}
+        for record in self._records:
+            out.setdefault(record.session_id, []).append(record)
+        return out
+
+    def message_names(self) -> list[str]:
+        return [record.msg for record in self._records]
+
+    def time_span(self) -> float:
+        if len(self._records) < 2:
+            return 0.0
+        return self._records[-1].timestamp - self._records[0].timestamp

@@ -1,0 +1,48 @@
+"""Telemetry and capture persistence.
+
+Datasets are the paper's currency ("In support of open science, we have
+released the source code and datasets"). Two durable formats:
+
+- ``.pcap``-like capture files — :class:`~repro.ran.pcap.PcapStream`'s own
+  binary framing (raw F1AP/NGAP bytes, re-parseable by the collector);
+- ``.mfl`` MobiFlow series files — the parsed telemetry entries in the
+  same KV TLV encoding the E2 reports use.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Union
+
+from repro.ran.pcap import PcapStream
+from repro.telemetry.encoder import decode_batch, encode_batch
+from repro.telemetry.mobiflow import TelemetrySeries
+
+PathLike = Union[str, pathlib.Path]
+
+_MFL_MAGIC = b"MFL1"
+
+
+def save_pcap(stream: PcapStream, path: PathLike) -> int:
+    """Write a capture to disk; returns bytes written."""
+    data = stream.to_bytes()
+    pathlib.Path(path).write_bytes(data)
+    return len(data)
+
+
+def load_pcap(path: PathLike) -> PcapStream:
+    return PcapStream.from_bytes(pathlib.Path(path).read_bytes())
+
+
+def save_series(series: TelemetrySeries, path: PathLike) -> int:
+    """Write a MobiFlow telemetry series to disk; returns bytes written."""
+    data = _MFL_MAGIC + encode_batch(series.records)
+    pathlib.Path(path).write_bytes(data)
+    return len(data)
+
+
+def load_series(path: PathLike) -> TelemetrySeries:
+    data = pathlib.Path(path).read_bytes()
+    if not data.startswith(_MFL_MAGIC):
+        raise ValueError(f"{path}: not a MobiFlow series file")
+    return TelemetrySeries(decode_batch(data[len(_MFL_MAGIC) :]))

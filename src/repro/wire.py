@@ -1,0 +1,159 @@
+"""TLV wire encoding shared by the RAN interfaces and the O-RAN E2 stack.
+
+The real systems (OAI, the OSC RIC) exchange ASN.1 PER-encoded structures.
+We substitute a compact, self-describing tag-length-value encoding that gives
+the same property the reproduction needs: telemetry and control messages
+cross interfaces as *bytes* and must be parsed back, so encode/decode bugs
+are observable. The format is deterministic, so captures are byte-stable
+across runs with the same seed.
+
+Supported values: ``None``, ``bool``, ``int`` (signed, arbitrary size),
+``float``, ``str``, ``bytes``, ``list`` and ``dict`` (string keys), nested
+arbitrarily.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any
+
+_TAG_NONE = 0x00
+_TAG_FALSE = 0x01
+_TAG_TRUE = 0x02
+_TAG_INT = 0x03
+_TAG_FLOAT = 0x04
+_TAG_STR = 0x05
+_TAG_BYTES = 0x06
+_TAG_LIST = 0x07
+_TAG_DICT = 0x08
+
+
+class WireError(ValueError):
+    """Raised on malformed wire data or unsupported values."""
+
+
+def _encode_length(length: int) -> bytes:
+    """Variable-length length field: 7 bits per byte, MSB = continuation."""
+    if length < 0:
+        raise WireError(f"negative length {length}")
+    out = bytearray()
+    while True:
+        byte = length & 0x7F
+        length >>= 7
+        if length:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def _decode_length(data: bytes, offset: int) -> tuple[int, int]:
+    length = 0
+    shift = 0
+    while True:
+        if offset >= len(data):
+            raise WireError("truncated length field")
+        byte = data[offset]
+        offset += 1
+        length |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return length, offset
+        shift += 7
+        if shift > 63:
+            raise WireError("length field too long")
+
+
+def encode(value: Any) -> bytes:
+    """Encode ``value`` into TLV bytes."""
+    if value is None:
+        return bytes([_TAG_NONE])
+    if value is False:
+        return bytes([_TAG_FALSE])
+    if value is True:
+        return bytes([_TAG_TRUE])
+    if isinstance(value, int):
+        payload = value.to_bytes((value.bit_length() + 8) // 8 or 1, "big", signed=True)
+        return bytes([_TAG_INT]) + _encode_length(len(payload)) + payload
+    if isinstance(value, float):
+        return bytes([_TAG_FLOAT]) + struct.pack(">d", value)
+    if isinstance(value, str):
+        payload = value.encode("utf-8")
+        return bytes([_TAG_STR]) + _encode_length(len(payload)) + payload
+    if isinstance(value, (bytes, bytearray)):
+        return bytes([_TAG_BYTES]) + _encode_length(len(value)) + bytes(value)
+    if isinstance(value, (list, tuple)):
+        body = b"".join(encode(item) for item in value)
+        return bytes([_TAG_LIST]) + _encode_length(len(body)) + body
+    if isinstance(value, dict):
+        parts = []
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise WireError(f"dict keys must be str, got {type(key).__name__}")
+            parts.append(encode(key))
+            parts.append(encode(item))
+        body = b"".join(parts)
+        return bytes([_TAG_DICT]) + _encode_length(len(body)) + body
+    raise WireError(f"unsupported wire type: {type(value).__name__}")
+
+
+def _decode_at(data: bytes, offset: int) -> tuple[Any, int]:
+    if offset >= len(data):
+        raise WireError("truncated value (no tag)")
+    tag = data[offset]
+    offset += 1
+    if tag == _TAG_NONE:
+        return None, offset
+    if tag == _TAG_FALSE:
+        return False, offset
+    if tag == _TAG_TRUE:
+        return True, offset
+    if tag == _TAG_FLOAT:
+        if offset + 8 > len(data):
+            raise WireError("truncated float")
+        return struct.unpack(">d", data[offset : offset + 8])[0], offset + 8
+    if tag in (_TAG_INT, _TAG_STR, _TAG_BYTES, _TAG_LIST, _TAG_DICT):
+        length, offset = _decode_length(data, offset)
+        end = offset + length
+        if end > len(data):
+            raise WireError("truncated payload")
+        payload = data[offset:end]
+        if tag == _TAG_INT:
+            return int.from_bytes(payload, "big", signed=True), end
+        if tag == _TAG_STR:
+            return payload.decode("utf-8"), end
+        if tag == _TAG_BYTES:
+            return bytes(payload), end
+        if tag == _TAG_LIST:
+            items = []
+            inner = 0
+            while inner < len(payload):
+                item, inner = _decode_at(payload, inner)
+                items.append(item)
+            return items, end
+        # dict
+        result: dict[str, Any] = {}
+        inner = 0
+        while inner < len(payload):
+            key, inner = _decode_at(payload, inner)
+            if not isinstance(key, str):
+                raise WireError("dict key is not a string")
+            if inner >= len(payload):
+                raise WireError("dict key without value")
+            item, inner = _decode_at(payload, inner)
+            result[key] = item
+        return result, end
+    raise WireError(f"unknown tag 0x{tag:02x}")
+
+
+def decode(data: bytes) -> Any:
+    """Decode one TLV value; raises :class:`WireError` on trailing bytes."""
+    value, offset = _decode_at(bytes(data), 0)
+    if offset != len(data):
+        raise WireError(f"{len(data) - offset} trailing bytes after value")
+    return value
+
+
+def decode_prefix(data: bytes) -> tuple[Any, bytes]:
+    """Decode one TLV value and return ``(value, remaining_bytes)``."""
+    value, offset = _decode_at(bytes(data), 0)
+    return value, bytes(data[offset:])

@@ -1,0 +1,86 @@
+"""Tests for the challenge-forgery attack and its specialized-LLM story."""
+
+import pytest
+
+from repro.attacks import ChallengeForgeryAttack
+from repro.llm import AnalysisEngine, ExpertAnalyst, LlmClient, SimulatedLlmServer
+from repro.llm.knowledge import SIG_AUTH_FORGERY
+from repro.ran import FiveGNetwork, NetworkConfig
+from repro.telemetry import MobiFlowCollector
+
+
+@pytest.fixture(scope="module")
+def capture():
+    net = FiveGNetwork(NetworkConfig(seed=95))
+    for i in range(3):
+        ue = net.add_ue("pixel5" if i % 2 == 0 else "galaxy_a53")
+        net.sim.schedule(0.3 + 1.5 * i, ue.start_session)
+    attack = ChallengeForgeryAttack(net, start_time=0.2, duration_s=8.0)
+    attack.arm()
+    net.run(until=30.0)
+    series = MobiFlowCollector().parse_stream(net.pcap)
+    return net, attack, series
+
+
+class TestAttackMechanics:
+    def test_forgeries_provoke_mac_failures(self, capture):
+        net, attack, series = capture
+        assert attack.challenges_forged >= 2
+        failures = [r for r in series if r.msg == "AuthenticationFailure"]
+        assert len(failures) >= 2
+
+    def test_ground_truth_marks_the_failures(self, capture):
+        net, attack, series = capture
+        malicious = [r for r in series if attack.is_malicious(r)]
+        assert malicious
+        assert all(r.msg == "AuthenticationFailure" for r in malicious)
+
+    def test_registrations_blocked_during_window(self, capture):
+        net, attack, series = capture
+        accepts_in_window = [
+            r
+            for r in series
+            if r.msg == "RegistrationAccept" and attack.in_window(r.timestamp)
+        ]
+        assert not accepts_in_window
+
+
+class TestDetectionStory:
+    def test_engine_names_the_forgery(self, capture):
+        net, attack, series = capture
+        window = [r for r in series if attack.in_window(r.timestamp)]
+        signatures = {m.signature for m in AnalysisEngine().analyze(window)}
+        assert SIG_AUTH_FORGERY in signatures
+
+    def test_zero_shot_cloud_models_miss_it(self, capture):
+        net, attack, series = capture
+        window = [r for r in series if attack.in_window(r.timestamp)]
+        server = SimulatedLlmServer()
+        for model in ("chatgpt-4o", "gemini", "copilot", "llama3", "claude-3-sonnet"):
+            analyst = ExpertAnalyst(client=LlmClient(server=server, model=model))
+            verdict = analyst.analyze(window, detector_flagged=True)
+            top = (
+                verdict.response.top_attacks[0][0].lower()
+                if verdict.response.top_attacks
+                else ""
+            )
+            assert "forgery" not in top, model
+
+    def test_finetuned_model_names_it(self, capture):
+        net, attack, series = capture
+        window = [r for r in series if attack.in_window(r.timestamp)]
+        analyst = ExpertAnalyst(
+            client=LlmClient(server=SimulatedLlmServer(), model="xsec-ft-7b")
+        )
+        verdict = analyst.analyze(window, detector_flagged=True)
+        assert verdict.response.is_anomalous
+        assert "forgery" in verdict.response.top_attacks[0][0].lower()
+
+    def test_benign_failure_free_traffic_does_not_match(self):
+        net = FiveGNetwork(NetworkConfig(seed=96))
+        ue = net.add_ue("pixel5")
+        ue.start_session()
+        net.run(until=30.0)
+        series = MobiFlowCollector().parse_stream(net.pcap)
+        signatures = {m.signature for m in AnalysisEngine().analyze(series.records)}
+        assert SIG_AUTH_FORGERY not in signatures

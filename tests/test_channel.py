@@ -1,0 +1,147 @@
+"""Tests for the radio channel: delivery, noise, and MiTM hooks."""
+
+from repro.ran.channel import ChannelConfig, RadioChannel
+from repro.ran.rrc import RrcSetup, RrcSetupRequest
+from repro.sim import Simulator
+
+
+class FakeDu:
+    def __init__(self):
+        self.received = []
+
+    def on_uplink(self, ue, rnti, message):
+        self.received.append((ue, rnti, message))
+
+
+class FakeUe:
+    def __init__(self):
+        self.received = []
+
+    def on_downlink(self, rnti, message):
+        self.received.append((rnti, message))
+
+
+def make_channel(**config_kwargs):
+    sim = Simulator(seed=1)
+    channel = RadioChannel(sim, ChannelConfig(**config_kwargs))
+    du = FakeDu()
+    channel.attach_du(du)
+    return sim, channel, du
+
+
+class TestDelivery:
+    def test_uplink_reaches_du_after_latency(self):
+        sim, channel, du = make_channel(latency_s=0.01, jitter_s=0.0)
+        ue = FakeUe()
+        channel.uplink(ue, None, RrcSetupRequest())
+        assert du.received == []
+        sim.run()
+        assert len(du.received) == 1
+        assert sim.now >= 0.01
+
+    def test_downlink_reaches_bound_ue(self):
+        sim, channel, du = make_channel()
+        ue = FakeUe()
+        channel.bind_rnti(0x10, ue)
+        channel.downlink(0x10, RrcSetup())
+        sim.run()
+        assert len(ue.received) == 1
+        assert ue.received[0][0] == 0x10
+
+    def test_downlink_to_unbound_rnti_dropped(self):
+        sim, channel, du = make_channel()
+        channel.downlink(0x99, RrcSetup())
+        sim.run()
+        assert channel.frames_dropped == 1
+
+    def test_unbind_stops_delivery(self):
+        sim, channel, du = make_channel()
+        ue = FakeUe()
+        channel.bind_rnti(0x10, ue)
+        channel.unbind_rnti(0x10)
+        channel.downlink(0x10, RrcSetup())
+        sim.run()
+        assert ue.received == []
+
+    def test_ue_for_rnti(self):
+        sim, channel, du = make_channel()
+        ue = FakeUe()
+        channel.bind_rnti(0x22, ue)
+        assert channel.ue_for_rnti(0x22) is ue
+        assert channel.ue_for_rnti(0x23) is None
+
+
+class TestNoise:
+    def test_duplicate_prob_one_duplicates_every_frame(self):
+        sim, channel, du = make_channel(duplicate_prob=1.0)
+        ue = FakeUe()
+        channel.uplink(ue, 5, RrcSetupRequest())
+        sim.run()
+        assert len(du.received) == 2
+        assert channel.frames_duplicated == 1
+
+    def test_setup_loss_prob_one_drops_setup_requests(self):
+        sim, channel, du = make_channel(setup_loss_prob=1.0)
+        ue = FakeUe()
+        channel.uplink(ue, None, RrcSetupRequest())
+        sim.run()
+        assert du.received == []
+        assert channel.frames_dropped == 1
+
+    def test_setup_loss_does_not_affect_other_messages(self):
+        sim, channel, du = make_channel(setup_loss_prob=1.0)
+        ue = FakeUe()
+        channel.uplink(ue, 5, RrcSetup())
+        sim.run()
+        assert len(du.received) == 1
+
+
+class TestMitmHooks:
+    def test_uplink_interceptor_can_replace(self):
+        sim, channel, du = make_channel()
+        replacement = RrcSetupRequest(ue_identity=0xBAD)
+        channel.add_uplink_interceptor(lambda ue, rnti, msg: replacement)
+        channel.uplink(FakeUe(), None, RrcSetupRequest(ue_identity=1))
+        sim.run()
+        assert du.received[0][2].ue_identity == 0xBAD
+
+    def test_uplink_interceptor_can_drop(self):
+        sim, channel, du = make_channel()
+        channel.add_uplink_interceptor(lambda ue, rnti, msg: None)
+        channel.uplink(FakeUe(), None, RrcSetupRequest())
+        sim.run()
+        assert du.received == []
+        assert channel.frames_dropped == 1
+
+    def test_downlink_interceptor_can_replace(self):
+        sim, channel, du = make_channel()
+        ue = FakeUe()
+        channel.bind_rnti(0x10, ue)
+        channel.add_downlink_interceptor(lambda rnti, msg: RrcSetup(rrc_transaction_id=9))
+        channel.downlink(0x10, RrcSetup(rrc_transaction_id=0))
+        sim.run()
+        assert ue.received[0][1].rrc_transaction_id == 9
+
+    def test_interceptor_removal(self):
+        sim, channel, du = make_channel()
+        interceptor = lambda ue, rnti, msg: None
+        channel.add_uplink_interceptor(interceptor)
+        channel.remove_uplink_interceptor(interceptor)
+        channel.uplink(FakeUe(), None, RrcSetupRequest())
+        sim.run()
+        assert len(du.received) == 1
+
+    def test_inject_uplink_bypasses_interceptors(self):
+        sim, channel, du = make_channel()
+        channel.add_uplink_interceptor(lambda ue, rnti, msg: None)
+        victim = FakeUe()
+        channel.inject_uplink(victim, 5, RrcSetupRequest())
+        sim.run()
+        assert len(du.received) == 1
+
+    def test_bind_listener_sees_bindings(self):
+        sim, channel, du = make_channel()
+        seen = []
+        channel.add_bind_listener(lambda rnti, ue: seen.append(rnti))
+        channel.bind_rnti(0x42, FakeUe())
+        assert seen == [0x42]

@@ -1,0 +1,177 @@
+"""Tests for MobiFlow collection: parsing, sessions, state tracking."""
+
+from repro.ran import FiveGNetwork, NetworkConfig
+from repro.telemetry import MobiFlowCollector, decode_record, encode_record
+from repro.telemetry.encoder import decode_batch, encode_batch
+from repro.telemetry.mobiflow import MobiFlowRecord, TelemetrySeries
+
+import pytest
+
+
+def run_benign(seed=1, ues=1, until=30.0):
+    net = FiveGNetwork(NetworkConfig(seed=seed))
+    for i in range(ues):
+        ue = net.add_ue("pixel5" if i % 2 == 0 else "galaxy_a53")
+        net.sim.schedule(0.2 * i, ue.start_session)
+    net.run(until=until)
+    return net
+
+
+class TestCollector:
+    def test_records_are_time_ordered(self):
+        net = run_benign(ues=3)
+        series = MobiFlowCollector().parse_stream(net.pcap)
+        times = [r.timestamp for r in series]
+        assert times == sorted(times)
+
+    def test_wrappers_not_emitted(self):
+        net = run_benign()
+        names = set(MobiFlowCollector().parse_stream(net.pcap).message_names())
+        assert "ULInformationTransfer" not in names
+        assert "DLInformationTransfer" not in names
+        assert "F1ULRRCMessageTransfer" not in names
+        assert "NGUplinkNASTransport" not in names
+
+    def test_nas_not_double_counted(self):
+        net = run_benign()
+        series = MobiFlowCollector().parse_stream(net.pcap)
+        reg_requests = [r for r in series if r.msg == "RegistrationRequest"]
+        assert len(reg_requests) == 1
+
+    def test_sessions_assigned_per_connection(self):
+        net = run_benign(ues=2)
+        series = MobiFlowCollector().parse_stream(net.pcap)
+        sessions = series.sessions()
+        assert len([s for s in sessions if s != 0]) >= 2
+        for session_id, records in sessions.items():
+            if session_id == 0:
+                continue
+            rntis = {r.rnti for r in records}
+            assert len(rntis) == 1, "one RNTI per session"
+            assert records[0].msg == "RRCSetupRequest"
+
+    def test_security_algorithms_captured(self):
+        net = run_benign()
+        series = MobiFlowCollector().parse_stream(net.pcap)
+        nas_smc = next(r for r in series if r.msg == "NASSecurityModeCommand")
+        assert nas_smc.cipher_alg == 2
+        assert nas_smc.integrity_alg == 2
+        rrc_smc = next(r for r in series if r.msg == "RRCSecurityModeCommand")
+        assert rrc_smc.cipher_alg == 2
+
+    def test_tmsi_sticky_within_session(self):
+        net = run_benign()
+        series = MobiFlowCollector().parse_stream(net.pcap)
+        accept_index = next(
+            i for i, r in enumerate(series) if r.msg == "RegistrationAccept"
+        )
+        session = series[accept_index].session_id
+        tmsi = series[accept_index].s_tmsi
+        assert tmsi is not None
+        after = [
+            r
+            for r in list(series)[accept_index:]
+            if r.session_id == session
+        ]
+        assert all(r.s_tmsi == tmsi for r in after)
+
+    def test_live_subscription_sees_all_records(self):
+        net = run_benign()
+        collector = MobiFlowCollector()
+        live: list[MobiFlowRecord] = []
+        collector.subscribe(live.append)
+        series = collector.parse_stream(net.pcap)
+        assert live == series.records
+
+    def test_direction_and_protocol_fields(self):
+        net = run_benign()
+        series = MobiFlowCollector().parse_stream(net.pcap)
+        by_name = {r.msg: r for r in series}
+        assert by_name["RRCSetupRequest"].direction == "UL"
+        assert by_name["RRCSetupRequest"].protocol == "RRC"
+        assert by_name["AuthenticationRequest"].direction == "DL"
+        assert by_name["AuthenticationRequest"].protocol == "NAS"
+
+    def test_unknown_interface_rejected(self):
+        collector = MobiFlowCollector()
+        from repro.ran.rrc import RrcSetup
+
+        with pytest.raises(ValueError):
+            collector.on_capture(0.0, "E1AP", RrcSetup())
+
+
+class TestEncoder:
+    def _record(self):
+        return MobiFlowRecord(
+            timestamp=1.25,
+            msg="RegistrationRequest",
+            protocol="NAS",
+            direction="UL",
+            session_id=3,
+            rnti=0x1234,
+            suci="suci-001-01-abcd",
+        )
+
+    def test_record_roundtrip(self):
+        record = self._record()
+        assert decode_record(encode_record(record)) == record
+
+    def test_none_fields_not_encoded(self):
+        from repro import wire
+
+        payload = wire.decode(encode_record(self._record()))
+        assert "supi" not in payload
+        assert "cipher_alg" not in payload
+
+    def test_batch_roundtrip(self):
+        records = [self._record(), self._record()]
+        assert decode_batch(encode_batch(records)) == records
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError):
+            MobiFlowRecord.from_dict({"timestamp": 0.0, "msg": "x", "bogus": 1})
+
+
+class TestTelemetrySeries:
+    def test_append_enforces_time_order(self):
+        series = TelemetrySeries()
+        series.append(
+            MobiFlowRecord(timestamp=1.0, msg="A", protocol="RRC", direction="UL")
+        )
+        with pytest.raises(ValueError):
+            series.append(
+                MobiFlowRecord(timestamp=0.5, msg="B", protocol="RRC", direction="UL")
+            )
+
+    def test_slicing_returns_series(self):
+        series = TelemetrySeries(
+            [
+                MobiFlowRecord(timestamp=float(i), msg=f"M{i}", protocol="RRC", direction="UL")
+                for i in range(5)
+            ]
+        )
+        sliced = series[1:3]
+        assert isinstance(sliced, TelemetrySeries)
+        assert len(sliced) == 2
+        assert sliced[0].msg == "M1"
+
+    def test_time_span(self):
+        series = TelemetrySeries(
+            [
+                MobiFlowRecord(timestamp=1.0, msg="A", protocol="RRC", direction="UL"),
+                MobiFlowRecord(timestamp=4.0, msg="B", protocol="RRC", direction="UL"),
+            ]
+        )
+        assert series.time_span() == 3.0
+        assert TelemetrySeries().time_span() == 0.0
+
+    def test_exposes_permanent_identity(self):
+        base = dict(timestamp=0.0, msg="X", protocol="NAS", direction="UL")
+        assert MobiFlowRecord(**base, supi="imsi-001").exposes_permanent_identity()
+        assert MobiFlowRecord(
+            **base, suci="suci-null-001-01-123456789"
+        ).exposes_permanent_identity()
+        assert not MobiFlowRecord(
+            **base, suci="suci-001-01-abcd"
+        ).exposes_permanent_identity()
+        assert not MobiFlowRecord(**base).exposes_permanent_identity()

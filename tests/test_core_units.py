@@ -1,0 +1,229 @@
+"""Unit tests for the MobiWatch and LLM-analyzer xApps in isolation."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import XsecConfig
+from repro.core.llm_analyzer import LlmAnalyzerXApp
+from repro.core.mobiwatch import XSEC_ANOMALY_MTYPE, AnomalyEvent, MobiWatchXApp
+from repro.ml import AutoencoderDetector
+from repro.oran.e2ap import RicIndication
+from repro.oran.e2sm_kpm import MOBIFLOW_RAN_FUNCTION_ID, MobiFlowKpmModel
+from repro.oran.ric import NearRtRic
+from repro.ran.links import InterfaceLink
+from repro.sim import Simulator
+from repro.telemetry.mobiflow import MobiFlowRecord
+
+
+def make_ric(seed=0):
+    sim = Simulator(seed=seed)
+    e2 = InterfaceLink(sim, "E2")
+    e2.connect(a_handler=lambda m: None, b_handler=lambda m: None)
+    return sim, NearRtRic(sim, e2)
+
+
+def record(t, msg, session=1, rnti=0x10, **kwargs):
+    defaults = dict(protocol="RRC", direction="UL")
+    defaults.update(kwargs)
+    return MobiFlowRecord(
+        timestamp=t, msg=msg, session_id=session, rnti=rnti, **defaults
+    )
+
+
+def indication(records, request_id=1, seq=1):
+    header, message = MobiFlowKpmModel.encode_indication(records)
+    return RicIndication(
+        ric_request_id=request_id,
+        ran_function_id=MOBIFLOW_RAN_FUNCTION_ID,
+        sequence_number=seq,
+        indication_header=header,
+        indication_message=message,
+    )
+
+
+def trained_detector(config, seed=0):
+    rng = np.random.default_rng(seed)
+    windows = rng.random((80, config.window * config.spec.dim)) * 0.1
+    detector = AutoencoderDetector(
+        window=config.window, feature_dim=config.spec.dim, seed=seed
+    )
+    detector.fit(windows, epochs=2)
+    return detector
+
+
+class TestMobiWatchUnit:
+    def test_accumulates_without_detector(self):
+        sim, ric = make_ric()
+        watch = MobiWatchXApp(ric, XsecConfig())
+        watch.on_indication(indication([record(0.0, "RRCSetupRequest")]))
+        assert watch.records_seen == 1
+        assert watch.windows_scored == 0
+        assert watch.anomalies == []
+
+    def test_out_of_order_batches_clamped(self):
+        sim, ric = make_ric()
+        watch = MobiWatchXApp(ric, XsecConfig())
+        watch.on_indication(indication([record(5.0, "RRCSetup")]))
+        watch.on_indication(indication([record(4.0, "RRCSetupComplete")]))
+        times = [r.timestamp for r in watch.series]
+        assert times == sorted(times)
+
+    def test_short_session_scored_after_maturation(self):
+        config = XsecConfig()
+        sim, ric = make_ric()
+        watch = MobiWatchXApp(ric, config)
+        watch.deploy_detector(trained_detector(config))
+        watch.on_indication(indication([record(0.0, "RRCSetupRequest")]))
+        # In-flight short sessions are not scored immediately ...
+        assert watch.windows_scored == 0
+        sim.run(until=2.0)
+        # ... but once quiet, the padded window is evaluated.
+        assert watch.windows_scored == 1
+
+    def test_maturation_skipped_when_session_progresses(self):
+        config = XsecConfig()
+        sim, ric = make_ric()
+        watch = MobiWatchXApp(ric, config)
+        watch.deploy_detector(trained_detector(config))
+        watch.on_indication(indication([record(0.0, "RRCSetupRequest")]))
+
+        def feed_more():
+            watch.on_indication(
+                indication([record(0.4, "RRCSetup")], seq=2)
+            )
+
+        sim.schedule(0.4, feed_more)
+        sim.run(until=3.0)
+        # The first maturity check (count=1) was invalidated by progress;
+        # only the final state (count=2) was scored.
+        assert watch.windows_scored == 1
+
+    def test_one_alert_per_session_per_record_count(self):
+        config = XsecConfig()
+        sim, ric = make_ric()
+        watch = MobiWatchXApp(ric, config)
+        detector = trained_detector(config)
+        detector.threshold.threshold = -1.0  # everything is anomalous
+        watch.deploy_detector(detector)
+        batch = [record(0.0, "RRCSetupRequest"), record(0.1, "RRCSetup")]
+        watch.on_indication(indication(batch))
+        sim.run(until=2.0)
+        first = len(watch.anomalies)
+        assert first == 1
+        watch.on_indication(indication([record(0.2, "RRCSetupComplete")], seq=2))
+        sim.run(until=4.0)
+        # New evidence (a third record) re-arms exactly one more alert.
+        assert len(watch.anomalies) == first + 1
+
+    def test_sdl_record_mirror(self):
+        sim, ric = make_ric()
+        watch = MobiWatchXApp(ric, XsecConfig())
+        watch.on_indication(indication([record(0.0, "RRCSetupRequest")]))
+        keys = ric.sdl.keys("xsec.mobiflow")
+        assert len(keys) == 1
+        stored = ric.sdl.get("xsec.mobiflow", keys[0])
+        assert stored["msg"] == "RRCSetupRequest"
+
+    def test_deploy_unfitted_rejected(self):
+        config = XsecConfig()
+        sim, ric = make_ric()
+        watch = MobiWatchXApp(ric, config)
+        with pytest.raises(ValueError):
+            watch.deploy_detector(
+                AutoencoderDetector(window=config.window, feature_dim=config.spec.dim)
+            )
+
+    def test_policy_without_training_scores_is_ignored(self):
+        config = XsecConfig()
+        sim, ric = make_ric()
+        watch = MobiWatchXApp(ric, config)
+        detector = trained_detector(config)
+        detector.training_scores = None
+        watch.deploy_detector(detector)
+        before = detector.threshold.threshold
+        watch.on_policy(20008, {"threshold_percentile": 50.0, "window_size": 6})
+        assert detector.threshold.threshold == before
+
+    def test_context_for_returns_window_plus_history(self):
+        config = XsecConfig()
+        sim, ric = make_ric()
+        watch = MobiWatchXApp(ric, config)
+        batch = [record(0.1 * i, "MeasurementReport") for i in range(10)]
+        watch.on_indication(indication(batch))
+        event = AnomalyEvent(
+            detected_at=1.0,
+            session_id=1,
+            rnti=0x10,
+            s_tmsi=None,
+            score=1.0,
+            threshold=0.5,
+            record_indices=(6, 7, 8, 9),
+        )
+        context = watch.context_for(event, max_records=5)
+        assert len(context) == 5
+        assert context[-1] is watch.series[9]
+
+
+class TestAnalyzerUnit:
+    def _stack(self):
+        config = XsecConfig(llm_session_cooldown_s=10.0)
+        sim, ric = make_ric()
+        watch = MobiWatchXApp(ric, config)
+        analyzer = LlmAnalyzerXApp(ric, watch, config=config)
+        watch.start_called = True
+        analyzer.start()
+        return sim, ric, watch, analyzer
+
+    def _anomaly(self, session=1, ts=0.0):
+        return AnomalyEvent(
+            detected_at=ts,
+            session_id=session,
+            rnti=0x10,
+            s_tmsi=None,
+            score=1.0,
+            threshold=0.5,
+            record_indices=(0,),
+            newest_record_ts=ts,
+        )
+
+    def test_cooldown_suppresses_repeat_queries(self):
+        sim, ric, watch, analyzer = self._stack()
+        watch.on_indication(indication([record(0.0, "RRCSetupRequest")]))
+        analyzer._on_anomaly(self._anomaly(session=1))
+        analyzer._on_anomaly(self._anomaly(session=1))
+        assert analyzer.queries_sent == 1
+        assert analyzer.queries_suppressed == 1
+
+    def test_different_sessions_not_suppressed(self):
+        sim, ric, watch, analyzer = self._stack()
+        watch.on_indication(
+            indication(
+                [record(0.0, "RRCSetupRequest", session=1), record(0.1, "RRCSetup", session=2)]
+            )
+        )
+        analyzer._on_anomaly(self._anomaly(session=1))
+        analyzer._on_anomaly(self._anomaly(session=2))
+        assert analyzer.queries_sent == 2
+
+    def test_verdict_lands_after_latency(self):
+        sim, ric, watch, analyzer = self._stack()
+        watch.on_indication(indication([record(0.0, "RRCSetupRequest")]))
+        analyzer._on_anomaly(self._anomaly(session=1))
+        assert analyzer.verdicts == []  # the API round trip is in flight
+        sim.run(until=30.0)
+        assert len(analyzer.verdicts) == 1
+        assert analyzer.verdicts[0].completed_at > 0.3
+
+    def test_verdicts_mirrored_to_sdl(self):
+        sim, ric, watch, analyzer = self._stack()
+        watch.on_indication(indication([record(0.0, "RRCSetupRequest")]))
+        analyzer._on_anomaly(self._anomaly(session=1))
+        sim.run(until=30.0)
+        assert len(ric.sdl.keys("xsec.verdicts")) == 1
+
+    def test_rmr_routing_delivers_anomaly_events(self):
+        sim, ric, watch, analyzer = self._stack()
+        watch.on_indication(indication([record(0.0, "RRCSetupRequest")]))
+        ric.rmr.send(XSEC_ANOMALY_MTYPE, -1, self._anomaly(session=3))
+        sim.run(until=30.0)
+        assert analyzer.queries_sent == 1

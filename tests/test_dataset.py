@@ -1,0 +1,118 @@
+"""Tests for dataset labeling rules (paper §4, Dataset Labeling)."""
+
+import numpy as np
+
+from repro.attacks import BtsDosAttack
+from repro.ran import FiveGNetwork, NetworkConfig
+from repro.telemetry import FeatureSpec, LabeledDataset, MobiFlowCollector, label_sequences
+from repro.telemetry.dataset import label_records
+from repro.telemetry.mobiflow import MobiFlowRecord, TelemetrySeries
+
+
+def record(t, msg, rnti=1):
+    return MobiFlowRecord(timestamp=t, msg=msg, protocol="RRC", direction="UL", rnti=rnti)
+
+
+class FakeAttack:
+    name = "fake"
+
+    def __init__(self, bad_rntis):
+        self.bad = bad_rntis
+
+    def is_malicious(self, r):
+        return r.rnti in self.bad
+
+
+class TestLabelSequences:
+    def test_window_containing_malicious_entry_is_malicious(self):
+        record_labels = np.array([False, False, True, False, False])
+        window_labels = label_sequences(record_labels, window=2)
+        # windows: (0,1) (1,2) (2,3) (3,4)
+        assert list(window_labels) == [False, True, True, False]
+
+    def test_all_benign(self):
+        labels = label_sequences(np.zeros(6, dtype=bool), window=3)
+        assert not labels.any()
+        assert len(labels) == 4
+
+    def test_short_series(self):
+        assert len(label_sequences(np.zeros(2, dtype=bool), window=5)) == 0
+
+    def test_paper_rule_window_span(self):
+        """Malicious x_i taints exactly windows S_{i-N+1} .. S_i."""
+        m, n, i = 10, 3, 5
+        record_labels = np.zeros(m, dtype=bool)
+        record_labels[i] = True
+        window_labels = label_sequences(record_labels, n)
+        tainted = {j for j in range(len(window_labels)) if window_labels[j]}
+        assert tainted == {i - n + 1, i - n + 2, i}
+
+
+class TestLabelRecords:
+    def test_multiple_attacks_union(self):
+        series = TelemetrySeries([record(0.0, "A", rnti=1), record(0.1, "B", rnti=2), record(0.2, "C", rnti=3)])
+        labels = label_records(series, [FakeAttack({1}), FakeAttack({3})])
+        assert list(labels) == [True, False, True]
+
+    def test_no_attacks_all_benign(self):
+        series = TelemetrySeries([record(0.0, "A")])
+        assert not label_records(series, []).any()
+
+
+class TestLabeledDataset:
+    def test_build_from_real_attack(self):
+        net = FiveGNetwork(NetworkConfig(seed=3))
+        ue = net.add_ue("pixel5")
+        net.sim.schedule(0.1, ue.start_session)
+        attack = BtsDosAttack(net, start_time=2.0, connections=6, interval_s=0.05)
+        attack.arm()
+        net.run(until=20.0)
+        series = MobiFlowCollector().parse_stream(net.pcap)
+        dataset = LabeledDataset.build("attack", series, FeatureSpec(), window=4, attacks=[attack])
+        # Session mode (default): every tracked record is covered by a window.
+        covered = {i for idxs in dataset.windowed.window_records for i in idxs}
+        tracked = {i for i, r in enumerate(series) if r.session_id != 0}
+        assert covered == tracked
+        assert dataset.malicious_window_count > 0
+        assert dataset.malicious_window_count < dataset.num_windows
+        # Window labels consistent with record labels under containment rule.
+        for i in range(dataset.num_windows):
+            indices = list(dataset.windowed.record_indices(i))
+            assert dataset.window_labels[i] == dataset.record_labels[indices].any()
+
+    def test_global_mode_matches_label_sequences(self):
+        net = FiveGNetwork(NetworkConfig(seed=3))
+        attack = BtsDosAttack(net, start_time=0.5, connections=4, interval_s=0.05)
+        attack.arm()
+        net.run(until=10.0)
+        series = MobiFlowCollector().parse_stream(net.pcap)
+        dataset = LabeledDataset.build(
+            "attack", series, FeatureSpec(), window=4, attacks=[attack], mode="global"
+        )
+        assert dataset.num_windows == len(series) - 3
+        expected = label_sequences(dataset.record_labels, 4)
+        assert list(dataset.window_labels) == list(expected)
+
+    def test_window_attack_attribution(self):
+        net = FiveGNetwork(NetworkConfig(seed=3))
+        attack = BtsDosAttack(net, start_time=0.5, connections=4, interval_s=0.05)
+        attack.arm()
+        net.run(until=10.0)
+        series = MobiFlowCollector().parse_stream(net.pcap)
+        dataset = LabeledDataset.build("attack", series, FeatureSpec(), window=4, attacks=[attack])
+        for i in range(dataset.num_windows):
+            if dataset.window_labels[i]:
+                assert dataset.window_attack(i) == "bts_dos"
+            else:
+                assert dataset.window_attack(i) is None
+
+    def test_benign_and_malicious_window_split(self):
+        net = FiveGNetwork(NetworkConfig(seed=4))
+        ue = net.add_ue("pixel5")
+        net.sim.schedule(0.1, ue.start_session)
+        attack = BtsDosAttack(net, start_time=3.0, connections=5, interval_s=0.05)
+        attack.arm()
+        net.run(until=20.0)
+        series = MobiFlowCollector().parse_stream(net.pcap)
+        dataset = LabeledDataset.build("d", series, FeatureSpec(), window=4, attacks=[attack])
+        assert len(dataset.benign_windows()) + len(dataset.malicious_windows()) == dataset.num_windows

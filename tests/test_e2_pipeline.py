@@ -1,0 +1,188 @@
+"""Integration tests: RIC agent <-> E2 termination <-> xApps."""
+
+import pytest
+
+from repro.oran import NearRtRic, RicAgent, XApp
+from repro.oran.e2ap import ActionType
+from repro.oran.e2sm_kpm import (
+    MOBIFLOW_RAN_FUNCTION_ID,
+    MobiFlowKpmModel,
+    MobiFlowReportStyle,
+)
+from repro.ran import FiveGNetwork, NetworkConfig
+from repro.ran.links import InterfaceLink
+
+
+class ProbeXApp(XApp):
+    """Subscribes to MobiFlow telemetry and records what it receives."""
+
+    def start(self):
+        super().start()
+        self.records = []
+        self.acks = []
+        trigger = MobiFlowKpmModel.encode_event_trigger(
+            MobiFlowReportStyle(0.1).to_trigger()
+        )
+        self.subscribe(MOBIFLOW_RAN_FUNCTION_ID, trigger)
+
+    def on_indication(self, indication):
+        self.records.extend(
+            MobiFlowKpmModel.decode_indication(
+                indication.indication_header, indication.indication_message
+            )
+        )
+
+    def on_control_ack(self, ack):
+        self.acks.append(ack)
+
+
+def build_stack(seed=1):
+    net = FiveGNetwork(NetworkConfig(seed=seed))
+    e2 = InterfaceLink(net.sim, "E2", latency_s=0.002)
+    agent = RicAgent(net, e2)
+    ric = NearRtRic(net.sim, e2)
+    e2.connect(a_handler=agent.on_e2, b_handler=ric.e2term.on_e2)
+    probe = ProbeXApp(ric, "probe")
+    agent.start()
+    ric.start()
+    return net, agent, ric, probe
+
+
+class TestE2Setup:
+    def test_node_connects_and_advertises_function(self):
+        net, agent, ric, probe = build_stack()
+        net.run(until=1.0)
+        assert "gnb-cu-0" in ric.e2term.connected_nodes
+        functions = ric.e2term.connected_nodes["gnb-cu-0"]
+        assert str(MOBIFLOW_RAN_FUNCTION_ID) in functions
+
+    def test_subscription_admitted(self):
+        net, agent, ric, probe = build_stack()
+        net.run(until=1.0)
+        subscription = ric.e2term.subscriptions[probe.subscription_ids[0]]
+        assert subscription.admitted
+        assert subscription.xapp_name == "probe"
+
+
+class TestTelemetryReporting:
+    def test_xapp_receives_all_telemetry(self):
+        net, agent, ric, probe = build_stack()
+        ue = net.add_ue("pixel5")
+        net.sim.schedule(0.5, ue.start_session)
+        net.run(until=20.0)
+        assert len(probe.records) == len(agent.collector.series)
+        assert len(probe.records) > 10
+        names = [record.msg for record in probe.records]
+        assert "RegistrationRequest" in names
+
+    def test_reporting_batches_by_interval(self):
+        net, agent, ric, probe = build_stack()
+        ue = net.add_ue("pixel5")
+        net.sim.schedule(0.5, ue.start_session)
+        net.run(until=20.0)
+        # A ~1.5s registration at 100ms report period -> several indications.
+        assert agent.indications_sent >= 3
+        assert ric.e2term.indications_received == agent.indications_sent
+
+    def test_max_records_per_indication(self):
+        net = FiveGNetwork(NetworkConfig(seed=2))
+        e2 = InterfaceLink(net.sim, "E2", latency_s=0.002)
+        agent = RicAgent(net, e2)
+        ric = NearRtRic(net.sim, e2)
+        e2.connect(a_handler=agent.on_e2, b_handler=ric.e2term.on_e2)
+
+        received_batches = []
+
+        class CapProbe(XApp):
+            def start(self):
+                super().start()
+                trigger = MobiFlowKpmModel.encode_event_trigger(
+                    MobiFlowReportStyle(0.1, max_records_per_indication=3).to_trigger()
+                )
+                self.subscribe(MOBIFLOW_RAN_FUNCTION_ID, trigger)
+
+            def on_indication(self, indication):
+                received_batches.append(
+                    MobiFlowKpmModel.decode_indication(
+                        indication.indication_header, indication.indication_message
+                    )
+                )
+
+        CapProbe(ric, "cap")
+        agent.start()
+        ric.start()
+        ue = net.add_ue("pixel5")
+        net.sim.schedule(0.5, ue.start_session)
+        net.run(until=20.0)
+        assert received_batches
+        assert all(len(batch) <= 3 for batch in received_batches)
+
+
+class TestControlActions:
+    def test_blocklist_control_executes_and_acks(self):
+        net, agent, ric, probe = build_stack()
+        net.run(until=1.0)
+        header, message = MobiFlowKpmModel.encode_control("blocklist_tmsi", tmsi=0xBEEF)
+        probe.send_control(MOBIFLOW_RAN_FUNCTION_ID, header, message)
+        net.run(until=2.0)
+        assert 0xBEEF in net.cu.tmsi_blocklist
+        assert len(probe.acks) == 1
+        assert probe.acks[0].success
+
+    def test_blocklisted_tmsi_is_rejected_at_access(self):
+        net, agent, ric, probe = build_stack(seed=3)
+        ue = net.add_ue("pixel5")
+        ue.start_session()
+        net.run(until=20.0)
+        assert ue.s_tmsi is not None
+        header, message = MobiFlowKpmModel.encode_control(
+            "blocklist_tmsi", tmsi=ue.s_tmsi
+        )
+        probe.send_control(MOBIFLOW_RAN_FUNCTION_ID, header, message)
+        net.run(until=21.0)
+        outcomes = []
+        ue.start_session(on_end=lambda u, o: outcomes.append(o))
+        net.run(until=40.0)
+        assert outcomes == ["rejected"]
+        assert net.cu.setup_requests_rejected >= 1
+
+    def test_release_control_on_unknown_rnti_fails_gracefully(self):
+        net, agent, ric, probe = build_stack()
+        net.run(until=1.0)
+        header, message = MobiFlowKpmModel.encode_control("release_ue", rnti=0x7777)
+        probe.send_control(MOBIFLOW_RAN_FUNCTION_ID, header, message)
+        net.run(until=2.0)
+        assert len(probe.acks) == 1
+        assert not probe.acks[0].success
+
+    def test_release_control_drops_connected_ue(self):
+        net, agent, ric, probe = build_stack(seed=4)
+        ue = net.add_ue("galaxy_a22")
+        ue.start_session()
+        net.run(until=2.0)
+        ctx = net.cu.context_for_rnti(ue.rnti)
+        assert ctx is not None
+        header, message = MobiFlowKpmModel.encode_control("release_ue", rnti=ue.rnti)
+        probe.send_control(MOBIFLOW_RAN_FUNCTION_ID, header, message)
+        net.run(until=10.0)
+        assert probe.acks and probe.acks[0].success
+        assert net.cu.context_for_rnti(ue.rnti) is None
+
+
+class TestXAppRegistry:
+    def test_duplicate_xapp_name_rejected(self):
+        net = FiveGNetwork(NetworkConfig(seed=1))
+        e2 = InterfaceLink(net.sim, "E2")
+        ric = NearRtRic(net.sim, e2)
+        ProbeXApp(ric, "probe")
+        with pytest.raises(ValueError):
+            ProbeXApp(ric, "probe")
+
+    def test_deregister_stops_delivery(self):
+        net, agent, ric, probe = build_stack()
+        ric.deregister_xapp("probe")
+        ue = net.add_ue("pixel5")
+        net.sim.schedule(0.5, ue.start_session)
+        net.run(until=10.0)
+        assert probe.records == []
+        assert not probe.started

@@ -1,0 +1,133 @@
+"""Tests for the E2 POLICY primitive: fast-path rules at the E2 node."""
+
+import pytest
+
+from repro.attacks import BtsDosAttack
+from repro.oran import NearRtRic, RicAgent, XApp
+from repro.oran.e2ap import ActionType
+from repro.oran.e2sm_kpm import (
+    MOBIFLOW_RAN_FUNCTION_ID,
+    AccessRatePolicy,
+    MobiFlowKpmModel,
+)
+from repro.ran import FiveGNetwork, NetworkConfig
+from repro.ran.links import InterfaceLink
+
+
+class PolicyXApp(XApp):
+    """Installs an access-rate policy at the E2 node."""
+
+    def start(self):
+        super().start()
+        self.responses = []
+        trigger = MobiFlowKpmModel.encode_event_trigger(
+            AccessRatePolicy(max_setups=3, window_s=1.0).to_trigger()
+        )
+        self.policy_sub = self.subscribe(
+            MOBIFLOW_RAN_FUNCTION_ID, trigger, ActionType.POLICY
+        )
+
+    def on_subscription_response(self, response):
+        self.responses.append(response)
+
+
+def build(seed=101):
+    net = FiveGNetwork(NetworkConfig(seed=seed))
+    e2 = InterfaceLink(net.sim, "E2", latency_s=0.002)
+    agent = RicAgent(net, e2)
+    ric = NearRtRic(net.sim, e2)
+    e2.connect(a_handler=agent.on_e2, b_handler=ric.e2term.on_e2)
+    xapp = PolicyXApp(ric, "policy-xapp")
+    agent.start()
+    ric.start()
+    return net, agent, ric, xapp
+
+
+class TestPolicyInstall:
+    def test_policy_subscription_admitted_and_installed(self):
+        net, agent, ric, xapp = build()
+        net.run(until=1.0)
+        assert xapp.responses and xapp.responses[0].admitted
+        assert net.du._rate_limit == (3, 1.0)
+        assert xapp.policy_sub in agent.policies
+
+    def test_policy_enforced_without_ric_round_trip(self):
+        """The whole point of the policy primitive: enforcement happens at
+        the node with zero per-event E2 traffic."""
+        net, agent, ric, xapp = build(seed=102)
+        net.run(until=1.0)
+        carried_before = net.sim.events_processed
+        flood = BtsDosAttack(net, start_time=1.5, connections=15, interval_s=0.05)
+        flood.arm()
+        controls_before = agent.controls_executed
+        net.run(until=20.0)
+        assert net.du.setup_requests_rate_limited > 0
+        # No control requests were needed; the rule ran locally.
+        assert agent.controls_executed == controls_before
+
+    def test_malformed_policy_rejected(self):
+        net = FiveGNetwork(NetworkConfig(seed=103))
+        e2 = InterfaceLink(net.sim, "E2", latency_s=0.002)
+        agent = RicAgent(net, e2)
+        ric = NearRtRic(net.sim, e2)
+        e2.connect(a_handler=agent.on_e2, b_handler=ric.e2term.on_e2)
+
+        responses = []
+
+        class BadPolicy(XApp):
+            def start(self):
+                super().start()
+                trigger = MobiFlowKpmModel.encode_event_trigger({"style": "bogus"})
+                self.subscribe(MOBIFLOW_RAN_FUNCTION_ID, trigger, ActionType.POLICY)
+
+            def on_subscription_response(self, response):
+                responses.append(response)
+
+        BadPolicy(ric, "bad")
+        agent.start()
+        ric.start()
+        net.run(until=1.0)
+        assert responses and not responses[0].admitted
+        assert net.du._rate_limit is None
+
+
+class TestPolicyDelete:
+    def test_delete_clears_node_side_rule(self):
+        net, agent, ric, xapp = build(seed=104)
+        net.run(until=1.0)
+        assert net.du._rate_limit is not None
+        assert ric.e2term.delete_subscription(xapp.policy_sub) is True
+        net.run(until=2.0)
+        assert net.du._rate_limit is None
+        assert xapp.policy_sub not in agent.policies
+
+    def test_delete_unknown_subscription_returns_false(self):
+        net, agent, ric, xapp = build(seed=105)
+        assert ric.e2term.delete_subscription(999) is False
+
+    def test_report_subscription_unaffected_by_policy_delete(self):
+        net, agent, ric, xapp = build(seed=106)
+
+        received = []
+
+        class Reporter(XApp):
+            def start(self):
+                super().start()
+                trigger = MobiFlowKpmModel.encode_event_trigger(
+                    __import__("repro.oran.e2sm_kpm", fromlist=["MobiFlowReportStyle"])
+                    .MobiFlowReportStyle(0.1)
+                    .to_trigger()
+                )
+                self.subscribe(MOBIFLOW_RAN_FUNCTION_ID, trigger)
+
+            def on_indication(self, indication):
+                received.append(indication)
+
+        Reporter(ric, "reporter")
+        ric.start()
+        net.run(until=1.0)
+        ric.e2term.delete_subscription(xapp.policy_sub)
+        ue = net.add_ue("pixel5")
+        net.sim.schedule(1.5, ue.start_session)
+        net.run(until=20.0)
+        assert received, "telemetry reporting must survive the policy delete"

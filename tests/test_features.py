@@ -1,0 +1,204 @@
+"""Tests for featurization: one-hot encoding, flags, sliding windows."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.telemetry.features import (
+    DEFAULT_MESSAGE_VOCAB,
+    FeatureSpec,
+    WindowedDataset,
+    sliding_windows,
+)
+from repro.telemetry.mobiflow import MobiFlowRecord, TelemetrySeries
+
+
+def record(t, msg, session=1, **kwargs):
+    defaults = dict(protocol="RRC", direction="UL")
+    defaults.update(kwargs)
+    return MobiFlowRecord(timestamp=t, msg=msg, session_id=session, **defaults)
+
+
+def simple_series():
+    return TelemetrySeries(
+        [
+            record(0.00, "RRCSetupRequest", establishment_cause="mo-Data"),
+            record(0.01, "RRCSetup", direction="DL"),
+            record(0.02, "RRCSetupComplete"),
+            record(0.03, "RegistrationRequest", protocol="NAS", suci="suci-001-01-x"),
+            record(0.04, "AuthenticationRequest", protocol="NAS", direction="DL"),
+        ]
+    )
+
+
+class TestFeatureSpec:
+    def test_dim_matches_names(self):
+        spec = FeatureSpec()
+        assert len(spec.feature_names()) == spec.dim
+
+    def test_subset_specs_have_smaller_dims(self):
+        full = FeatureSpec()
+        no_state = FeatureSpec(include_state=False)
+        no_ids = FeatureSpec(include_identifiers=False)
+        no_timing = FeatureSpec(include_timing=False)
+        assert no_state.dim < full.dim
+        assert no_ids.dim < full.dim
+        assert no_timing.dim < full.dim
+        assert len(no_state.feature_names()) == no_state.dim
+
+    def test_encode_shape(self):
+        spec = FeatureSpec()
+        matrix = spec.encode_series(simple_series())
+        assert matrix.shape == (5, spec.dim)
+        assert matrix.dtype == np.float32
+
+    def test_message_one_hot_sums_to_one(self):
+        spec = FeatureSpec()
+        matrix = spec.encode_series(simple_series())
+        msg_block = matrix[:, : len(spec.message_vocab) + 1]
+        assert np.all(msg_block.sum(axis=1) == 1.0)
+
+    def test_unknown_message_falls_into_other_bucket(self):
+        spec = FeatureSpec()
+        series = TelemetrySeries([record(0.0, "SomethingNew")])
+        matrix = spec.encode_series(series)
+        other_col = len(spec.message_vocab)
+        assert matrix[0, other_col] == 1.0
+
+    def test_direction_encoding(self):
+        spec = FeatureSpec()
+        names = spec.feature_names()
+        ul_col = names.index("dir=UL")
+        dl_col = names.index("dir=DL")
+        matrix = spec.encode_series(simple_series())
+        assert matrix[0, ul_col] == 1.0 and matrix[0, dl_col] == 0.0
+        assert matrix[1, dl_col] == 1.0 and matrix[1, ul_col] == 0.0
+
+    def test_new_session_flag(self):
+        spec = FeatureSpec()
+        col = spec.feature_names().index("new_session")
+        series = TelemetrySeries(
+            [record(0.0, "A", session=1), record(0.1, "B", session=1), record(0.2, "C", session=2)]
+        )
+        matrix = spec.encode_series(series)
+        assert list(matrix[:, col]) == [1.0, 0.0, 1.0]
+
+    def test_tmsi_reuse_fires_on_third_usage_episode(self):
+        spec = FeatureSpec(identifier_weight=1.0)
+        col = spec.feature_names().index("tmsi_reused")
+        series = TelemetrySeries(
+            [
+                record(0.0, "A", session=1, s_tmsi=0xAA),  # episode 1
+                record(0.3, "B", session=1, s_tmsi=0xAA),  # same episode
+                record(5.0, "C", session=2, s_tmsi=0xAA),  # episode 2 (benign re-reg)
+                record(10.0, "D", session=3, s_tmsi=0xAA),  # episode 3: reuse!
+                record(15.0, "E", session=4, s_tmsi=0xBB),  # fresh tmsi
+            ]
+        )
+        matrix = spec.encode_series(series)
+        assert list(matrix[:, col]) == [0.0, 0.0, 0.0, 1.0, 0.0]
+
+    def test_tmsi_retries_merge_into_one_episode(self):
+        """Duplicates/T300 retries within the horizon must not count as reuse."""
+        spec = FeatureSpec(identifier_weight=1.0)
+        col = spec.feature_names().index("tmsi_reused")
+        series = TelemetrySeries(
+            [
+                record(0.0, "A", session=1, s_tmsi=0xAA),
+                record(4.0, "B", session=2, s_tmsi=0xAA),  # episode 2
+                record(4.4, "B", session=3, s_tmsi=0xAA),  # retry: same episode
+                record(4.8, "B", session=4, s_tmsi=0xAA),  # retry: same episode
+            ]
+        )
+        matrix = spec.encode_series(series)
+        assert list(matrix[:, col]) == [0.0, 0.0, 0.0, 0.0]
+
+    def test_identity_exposed_flag(self):
+        spec = FeatureSpec(identifier_weight=1.0)
+        col = spec.feature_names().index("identity_exposed")
+        series = TelemetrySeries(
+            [
+                record(0.0, "A", suci="suci-001-01-xyz"),
+                record(0.1, "B", suci="suci-null-001-01-123456789"),
+                record(0.2, "C", supi="imsi-00101123456789"),
+            ]
+        )
+        matrix = spec.encode_series(series)
+        assert list(matrix[:, col]) == [0.0, 1.0, 1.0]
+
+    def test_repeated_message_flag(self):
+        spec = FeatureSpec()
+        col = spec.feature_names().index("repeated_msg")
+        series = TelemetrySeries([record(0.0, "A"), record(0.1, "A"), record(0.2, "B")])
+        matrix = spec.encode_series(series)
+        assert list(matrix[:, col]) == [0.0, 1.0, 0.0]
+
+    def test_iat_buckets(self):
+        spec = FeatureSpec(iat_buckets=(0.01, 0.1))
+        names = spec.feature_names()
+        fast = names.index("iat<0.01")
+        mid = names.index("iat<0.1")
+        slow = names.index("iat>=last")
+        series = TelemetrySeries([record(0.0, "A"), record(0.005, "B"), record(1.0, "C")])
+        matrix = spec.encode_series(series)
+        assert matrix[0, fast] == 1.0  # first record: iat 0
+        assert matrix[1, fast] == 1.0
+        assert matrix[2, slow] == 1.0
+        assert matrix[2, mid] == 0.0
+
+    def test_encoding_is_causal(self):
+        """Features of entry i must not depend on entries after i."""
+        spec = FeatureSpec()
+        series_full = TelemetrySeries(
+            [record(0.0, "A", session=1, s_tmsi=1), record(0.1, "B", session=2, s_tmsi=1)]
+        )
+        series_prefix = TelemetrySeries([record(0.0, "A", session=1, s_tmsi=1)])
+        full = spec.encode_series(series_full)
+        prefix = spec.encode_series(series_prefix)
+        assert np.array_equal(full[0], prefix[0])
+
+
+class TestSlidingWindows:
+    def test_window_count_and_shape(self):
+        matrix = np.arange(20, dtype=np.float32).reshape(5, 4)
+        windows = sliding_windows(matrix, 3)
+        assert windows.shape == (3, 12)
+
+    def test_window_content(self):
+        matrix = np.arange(6, dtype=np.float32).reshape(3, 2)
+        windows = sliding_windows(matrix, 2)
+        assert list(windows[0]) == [0, 1, 2, 3]
+        assert list(windows[1]) == [2, 3, 4, 5]
+
+    def test_too_short_series_gives_empty(self):
+        matrix = np.zeros((2, 4), dtype=np.float32)
+        assert sliding_windows(matrix, 3).shape == (0, 12)
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            sliding_windows(np.zeros((3, 2)), 0)
+
+    @given(st.integers(min_value=1, max_value=6), st.integers(min_value=0, max_value=12))
+    def test_window_count_property(self, window, rows):
+        matrix = np.zeros((rows, 3), dtype=np.float32)
+        windows = sliding_windows(matrix, window)
+        expected = max(0, rows - window + 1)
+        assert windows.shape == (expected, window * 3)
+
+
+class TestWindowedDataset:
+    def test_from_series(self):
+        spec = FeatureSpec()
+        dataset = WindowedDataset.from_series(simple_series(), spec, window=3)
+        assert dataset.num_windows == 3
+        assert dataset.windows.shape == (3, 3 * spec.dim)
+        assert dataset.per_record.shape == (5, spec.dim)
+
+    def test_record_range(self):
+        spec = FeatureSpec()
+        dataset = WindowedDataset.from_series(simple_series(), spec, window=3)
+        assert dataset.record_range(0) == (0, 3)
+        assert dataset.record_range(2) == (2, 5)
+        with pytest.raises(IndexError):
+            dataset.record_range(3)

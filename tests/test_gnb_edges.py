@@ -1,0 +1,121 @@
+"""Edge-case tests for the gNB DU/CU message handling."""
+
+from repro.ran import FiveGNetwork, NetworkConfig
+from repro.ran.f1ap import (
+    F1DlRrcMessageTransfer,
+    F1UeContextReleaseCommand,
+    F1UlRrcMessageTransfer,
+)
+from repro.ran.ngap import NgDownlinkNasTransport, NgUeContextReleaseCommand
+from repro.ran.rrc import RrcSetup, RrcSetupRequest
+
+
+def make_net(seed=91):
+    return FiveGNetwork(NetworkConfig(seed=seed))
+
+
+class TestDuEdges:
+    def test_uplink_on_unknown_rnti_logged_and_dropped(self):
+        net = make_net()
+        ue = net.add_ue("pixel5")
+        net.du.on_uplink(ue, 0x7777, RrcSetup())
+        net.run(until=1.0)
+        assert any("unknown RNTI" in line for _, line in net.du.logs)
+
+    def test_initial_access_with_non_setup_dropped(self):
+        net = make_net()
+        ue = net.add_ue("pixel5")
+        net.du.on_uplink(ue, None, RrcSetup())
+        net.run(until=1.0)
+        assert net.du.rntis.in_use == frozenset()
+
+    def test_dl_for_unknown_du_ue_id_dropped(self):
+        net = make_net()
+        net.du.on_f1(
+            F1DlRrcMessageTransfer(
+                gnb_du_ue_id=999, gnb_cu_ue_id=1, rrc_container=RrcSetup().to_wire()
+            )
+        )
+        net.run(until=1.0)
+        assert any("unknown du_ue_id" in line for _, line in net.du.logs)
+
+    def test_release_unknown_context_still_acks(self):
+        net = make_net()
+        completes = []
+        original = net.cu.on_f1
+
+        def spy(message):
+            completes.append(message.name)
+            original(message)
+
+        net.f1.connect(a_handler=net.du.on_f1, b_handler=spy)
+        net.du.on_f1(F1UeContextReleaseCommand(gnb_du_ue_id=12345, gnb_cu_ue_id=0))
+        net.run(until=1.0)
+        assert "F1UEContextReleaseComplete" in completes
+
+
+class TestCuEdges:
+    def test_ul_for_unknown_du_ue_id_logged(self):
+        net = make_net()
+        net.cu.on_f1(
+            F1UlRrcMessageTransfer(
+                gnb_du_ue_id=500, gnb_cu_ue_id=0, rrc_container=RrcSetup().to_wire()
+            )
+        )
+        assert any("unknown du_ue_id" in line for _, line in net.cu.logs)
+
+    def test_ng_release_for_unknown_context_is_noop(self):
+        net = make_net()
+        net.cu.on_ng(NgUeContextReleaseCommand(ran_ue_id=404, amf_ue_id=1))
+        net.run(until=1.0)
+        assert net.cu.active_contexts == 0
+
+    def test_dl_nas_for_unknown_context_logged(self):
+        net = make_net()
+        net.cu.on_ng(
+            NgDownlinkNasTransport(ran_ue_id=404, amf_ue_id=1, nas_pdu=b"")
+        )
+        assert any("unknown ran_ue_id" in line for _, line in net.cu.logs)
+
+    def test_ul_nas_before_amf_context_dropped(self):
+        """A ULInformationTransfer arriving before the AMF context exists
+        (e.g. from an out-of-spec UE) must not crash the CU."""
+        from repro.ran.rrc import RrcUlInformationTransfer
+
+        net = make_net(seed=92)
+
+        class EagerUe(type(net.add_ue("pixel5"))):
+            pass
+
+        ue = net.ues[0]
+        ue.start_session()
+        net.run(max_events=6)  # RRC setup done, no NAS yet
+        if ue.rnti is not None:
+            ue.send_uplink_nas(RrcUlInformationTransfer(nas_pdu=b""))
+        net.run(until=20.0)
+        # Session still completes or fails cleanly; no exception.
+        assert net.sim.pending >= 0
+
+
+class TestRntiReuse:
+    def test_released_rnti_can_be_reallocated_to_new_session(self):
+        net = make_net(seed=93)
+        ue = net.add_ue("oai_ue")
+        ue.start_session()
+        net.run(until=30.0)
+        released = set()
+        # All RNTIs freed after the session.
+        assert net.du.rntis.in_use == frozenset()
+
+    def test_duplicate_setup_requests_create_ghost_contexts_that_expire(self):
+        from repro.ran.channel import ChannelConfig
+
+        net = FiveGNetwork(
+            NetworkConfig(seed=94, channel=ChannelConfig(duplicate_prob=1.0))
+        )
+        ue = net.add_ue("pixel5")
+        ue.start_session()
+        net.run(until=40.0)
+        # Ghost contexts from the duplicated setup requests get swept.
+        assert net.cu.active_contexts == 0
+        assert net.du.rntis.in_use == frozenset()

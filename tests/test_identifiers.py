@@ -1,0 +1,125 @@
+"""Tests for the 5G identifier spaces."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ran.identifiers import (
+    RNTI_MAX,
+    RNTI_MIN,
+    Guti,
+    GutiAllocator,
+    RntiAllocator,
+    Supi,
+    TmsiAllocator,
+    conceal_supi,
+)
+
+
+class TestSupi:
+    def test_str_format(self):
+        supi = Supi(mcc="001", mnc="01", msin="123456789")
+        assert str(supi) == "imsi-00101123456789"
+
+    def test_parse_roundtrip(self):
+        supi = Supi(mcc="310", mnc="26", msin="0123456789")
+        assert Supi.parse(str(supi)) == supi
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"mcc": "1", "mnc": "01", "msin": "123456789"},
+            {"mcc": "abc", "mnc": "01", "msin": "123456789"},
+            {"mcc": "001", "mnc": "1", "msin": "123456789"},
+            {"mcc": "001", "mnc": "01", "msin": "123"},
+            {"mcc": "001", "mnc": "01", "msin": "12345678901234"},
+        ],
+    )
+    def test_invalid_fields_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            Supi(**kwargs)
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            Supi.parse("not-an-imsi")
+        with pytest.raises(ValueError):
+            Supi.parse("imsi-abc")
+
+
+class TestSuci:
+    def test_concealment_hides_msin(self):
+        supi = Supi(mcc="001", mnc="01", msin="123456789")
+        suci = conceal_supi(supi)
+        assert supi.msin not in suci
+        assert suci.startswith("suci-001-01-")
+
+    def test_concealment_is_deterministic(self):
+        supi = Supi(mcc="001", mnc="01", msin="123456789")
+        assert conceal_supi(supi) == conceal_supi(supi)
+
+    def test_different_supis_conceal_differently(self):
+        a = conceal_supi(Supi(mcc="001", mnc="01", msin="123456789"))
+        b = conceal_supi(Supi(mcc="001", mnc="01", msin="123456780"))
+        assert a != b
+
+    def test_key_changes_concealment(self):
+        supi = Supi(mcc="001", mnc="01", msin="123456789")
+        assert conceal_supi(supi, b"key-a") != conceal_supi(supi, b"key-b")
+
+
+class TestRntiAllocator:
+    def test_allocations_unique_and_in_range(self):
+        alloc = RntiAllocator(random.Random(0))
+        rntis = [alloc.allocate() for _ in range(500)]
+        assert len(set(rntis)) == 500
+        assert all(RNTI_MIN <= r <= RNTI_MAX for r in rntis)
+
+    def test_release_allows_reuse(self):
+        alloc = RntiAllocator(random.Random(0))
+        rnti = alloc.allocate()
+        assert rnti in alloc.in_use
+        alloc.release(rnti)
+        assert rnti not in alloc.in_use
+
+    def test_release_unknown_is_noop(self):
+        alloc = RntiAllocator(random.Random(0))
+        alloc.release(0x1234)  # must not raise
+
+
+class TestTmsiAllocator:
+    def test_allocations_unique(self):
+        alloc = TmsiAllocator(random.Random(1))
+        tmsis = [alloc.allocate() for _ in range(1000)]
+        assert len(set(tmsis)) == 1000
+
+    def test_values_fit_32_bits(self):
+        alloc = TmsiAllocator(random.Random(1))
+        assert all(0 <= alloc.allocate() < 2**32 for _ in range(100))
+
+
+class TestGuti:
+    def test_allocator_mints_unique_tmsis(self):
+        alloc = GutiAllocator(random.Random(2))
+        gutis = [alloc.allocate() for _ in range(100)]
+        assert len({g.tmsi for g in gutis}) == 100
+
+    def test_s_tmsi_embeds_tmsi(self):
+        guti = Guti(plmn="00101", amf_region=1, amf_set=1, amf_pointer=0, tmsi=0xDEADBEEF)
+        assert guti.s_tmsi() & 0xFFFFFFFF == 0xDEADBEEF
+
+    def test_str_contains_tmsi_hex(self):
+        guti = Guti(plmn="00101", amf_region=1, amf_set=1, amf_pointer=0, tmsi=0xAB)
+        assert str(guti).endswith(f"{0xAB:08x}")
+
+    def test_release_accepts_none(self):
+        alloc = GutiAllocator(random.Random(2))
+        alloc.release(None)  # must not raise
+
+
+class TestPropertyBased:
+    @given(st.integers(min_value=0, max_value=10**9 - 1))
+    def test_supi_parse_inverse_of_str(self, msin_value):
+        supi = Supi(mcc="001", mnc="01", msin=f"{msin_value:09d}")
+        assert Supi.parse(str(supi)) == supi

@@ -1,0 +1,79 @@
+"""Tests reproducing the paper's §5 Limitations — the documented blind spots.
+
+These tests assert the *absence* of detection capability, so the
+limitation stays documented and any future change that closes it shows up
+as a test to update deliberately.
+"""
+
+import pytest
+
+from repro.attacks.limitations import (
+    DownlinkMessageDropAttack,
+    RogueBaseStationAttack,
+)
+from repro.llm import AnalysisEngine
+from repro.ran import FiveGNetwork, NetworkConfig
+from repro.telemetry import MobiFlowCollector
+
+
+def run_with(attack_cls, seed=41, until=40.0):
+    net = FiveGNetwork(NetworkConfig(seed=seed))
+    background = net.add_ue("pixel5")
+    net.sim.schedule(0.3, background.start_session)
+    victim = net.add_ue("pixel6", name="victim")
+    net.sim.schedule(2.0, victim.start_session)
+    attack = attack_cls(net, victim=victim, start_time=1.5, duration_s=15.0)
+    attack.arm()
+    net.run(until=until)
+    series = MobiFlowCollector().parse_stream(net.pcap)
+    return net, victim, attack, series
+
+
+class TestDownlinkMessageDrop:
+    def test_attack_disrupts_the_victim(self):
+        net, victim, attack, series = run_with(DownlinkMessageDropAttack)
+        assert attack.messages_dropped > 0
+        # The victim did not complete registration during the attack window.
+        reg_times = [
+            r.timestamp
+            for r in series
+            if r.msg == "RegistrationAccept" and attack.in_window(r.timestamp)
+        ]
+        assert victim.guti is None or not reg_times
+
+    def test_no_ground_truth_records_exist(self):
+        net, victim, attack, series = run_with(DownlinkMessageDropAttack)
+        assert not any(attack.is_malicious(r) for r in series)
+
+    def test_knowledge_engine_cannot_name_the_attack(self):
+        net, victim, attack, series = run_with(DownlinkMessageDropAttack)
+        window = [r for r in series if attack.in_window(r.timestamp)]
+        matches = AnalysisEngine().analyze(window)
+        named = {m.signature for m in matches}
+        # No identity/cipher/replay signature applies; at most the generic
+        # storm heuristic could fire on the victim's stalled retries.
+        assert named <= {"signaling_storm"}
+
+
+class TestRogueBaseStation:
+    def test_victim_never_reaches_the_network(self):
+        net, victim, attack, series = run_with(RogueBaseStationAttack)
+        assert attack.captured_messages > 0
+        victim_sessions = {
+            r.session_id
+            for r in series
+            if r.timestamp >= 2.0 and r.msg == "RegistrationRequest"
+            and r.suci and victim.supi.msin in (r.suci or "")
+        }
+        assert not victim_sessions
+
+    def test_telemetry_contains_no_trace_of_the_attack(self):
+        net, victim, attack, series = run_with(RogueBaseStationAttack)
+        assert not any(attack.is_malicious(r) for r in series)
+        # Background traffic is untouched.
+        assert net.amf.registrations_accepted >= 1
+
+    def test_engine_sees_benign_traffic_only(self):
+        net, victim, attack, series = run_with(RogueBaseStationAttack)
+        matches = AnalysisEngine().analyze(series.records)
+        assert matches == []

@@ -1,0 +1,111 @@
+"""Tests for the control-message base machinery and RRC/NAS definitions."""
+
+import pytest
+
+from repro.ran import nas, rrc
+from repro.ran.messages import Direction, Message, MessageError, Protocol
+from repro.ran.security import CipherAlg, IntegrityAlg
+
+
+def _instantiate_all_registered():
+    """One default instance of every registered message class."""
+    return [Message.lookup(name)() for name in Message.registered_names()]
+
+
+class TestRegistry:
+    def test_all_expected_messages_registered(self):
+        names = Message.registered_names()
+        for expected in (
+            "RRCSetupRequest",
+            "RRCSetup",
+            "RRCSetupComplete",
+            "RegistrationRequest",
+            "AuthenticationRequest",
+            "AuthenticationResponse",
+            "IdentityRequest",
+            "IdentityResponse",
+            "NASSecurityModeCommand",
+            "RegistrationAccept",
+            "F1InitialULRRCMessageTransfer",
+            "NGInitialUEMessage",
+        ):
+            assert expected in names
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(MessageError):
+            Message.lookup("NotAMessage")
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(MessageError):
+
+            class Duplicate(Message):
+                NAME = "RRCSetupRequest"
+
+
+class TestWireRoundtrip:
+    def test_every_registered_message_roundtrips_with_defaults(self):
+        for message in _instantiate_all_registered():
+            decoded = Message.from_wire(message.to_wire())
+            assert type(decoded) is type(message)
+            assert decoded.fields() == message.fields()
+
+    def test_enum_fields_rehydrate(self):
+        original = rrc.RrcSetupRequest(
+            establishment_cause=rrc.EstablishmentCause.MO_DATA,
+            ue_identity=0x1234,
+            identity_is_tmsi=True,
+        )
+        decoded = Message.from_wire(original.to_wire())
+        assert decoded.establishment_cause is rrc.EstablishmentCause.MO_DATA
+        assert decoded.ue_identity == 0x1234
+        assert decoded.identity_is_tmsi is True
+
+    def test_security_mode_command_algs_roundtrip(self):
+        original = nas.NasSecurityModeCommand(
+            cipher_alg=CipherAlg.NEA0, integrity_alg=IntegrityAlg.NIA0
+        )
+        decoded = Message.from_wire(original.to_wire())
+        assert decoded.cipher_alg is CipherAlg.NEA0
+        assert decoded.integrity_alg is IntegrityAlg.NIA0
+
+    def test_nested_nas_pdu_roundtrip(self):
+        inner = nas.RegistrationRequest(suci="suci-001-01-abc")
+        outer = rrc.RrcSetupComplete(nas_pdu=inner.to_wire())
+        decoded_outer = Message.from_wire(outer.to_wire())
+        decoded_inner = Message.from_wire(decoded_outer.nas_pdu)
+        assert isinstance(decoded_inner, nas.RegistrationRequest)
+        assert decoded_inner.suci == "suci-001-01-abc"
+
+    def test_from_wire_rejects_garbage(self):
+        with pytest.raises(MessageError):
+            Message.from_wire(b"\x00garbage")
+
+    def test_from_wire_rejects_unknown_message(self):
+        from repro import wire
+
+        with pytest.raises(MessageError):
+            Message.from_wire(wire.encode({"msg": "Bogus", "ie": {}}))
+
+    def test_from_wire_rejects_missing_ie(self):
+        from repro import wire
+
+        with pytest.raises(MessageError):
+            Message.from_wire(wire.encode({"msg": "RRCSetup", "ie": {}}))
+
+
+class TestMetadata:
+    def test_protocol_and_direction_attributes(self):
+        assert rrc.RrcSetupRequest.PROTOCOL is Protocol.RRC
+        assert rrc.RrcSetupRequest.DIRECTION is Direction.UPLINK
+        assert nas.AuthenticationRequest.PROTOCOL is Protocol.NAS
+        assert nas.AuthenticationRequest.DIRECTION is Direction.DOWNLINK
+
+    def test_name_property(self):
+        assert rrc.RrcSetup().name == "RRCSetup"
+        assert nas.RegistrationAccept().name == "RegistrationAccept"
+
+    def test_fields_converts_enums_to_values(self):
+        fields = rrc.RrcSetupRequest(
+            establishment_cause=rrc.EstablishmentCause.MO_SMS
+        ).fields()
+        assert fields["establishment_cause"] == "mo-SMS"

@@ -1,0 +1,266 @@
+"""Integration tests: full 5G procedures over the assembled network."""
+
+import pytest
+
+from repro.ran import FiveGNetwork, NetworkConfig
+from repro.ran.channel import ChannelConfig
+from repro.ran.nas import FiveGmmState
+from repro.ran.rrc import RrcState
+from repro.ran.security import CipherAlg, IntegrityAlg
+from repro.telemetry import MobiFlowCollector
+
+
+def run_session(net, ue, until=30.0):
+    outcomes = []
+    ue.start_session(on_end=lambda u, o: outcomes.append(o))
+    net.run(until=until)
+    return outcomes
+
+
+class TestRegistration:
+    def test_initial_registration_completes(self):
+        net = FiveGNetwork(NetworkConfig(seed=1))
+        ue = net.add_ue("pixel5")
+        outcomes = run_session(net, ue)
+        assert outcomes == ["completed"]
+        assert net.amf.registrations_accepted == 1
+        assert ue.guti is not None
+        assert ue.s_tmsi is not None
+        assert ue.rrc_state is RrcState.IDLE
+
+    def test_message_sequence_matches_procedure(self):
+        net = FiveGNetwork(NetworkConfig(seed=1))
+        ue = net.add_ue("pixel5")
+        run_session(net, ue)
+        series = MobiFlowCollector().parse_stream(net.pcap)
+        names = series.message_names()
+        # Relative ordering of the registration procedure.
+        for earlier, later in [
+            ("RRCSetupRequest", "RRCSetup"),
+            ("RRCSetup", "RRCSetupComplete"),
+            ("RRCSetupComplete", "RegistrationRequest"),
+            ("RegistrationRequest", "AuthenticationRequest"),
+            ("AuthenticationRequest", "AuthenticationResponse"),
+            ("AuthenticationResponse", "NASSecurityModeCommand"),
+            ("NASSecurityModeCommand", "NASSecurityModeComplete"),
+            ("NASSecurityModeComplete", "RegistrationAccept"),
+            ("RegistrationAccept", "RegistrationComplete"),
+        ]:
+            assert names.index(earlier) < names.index(later), (earlier, later)
+
+    def test_negotiated_algorithms_are_non_null_for_normal_ue(self):
+        net = FiveGNetwork(NetworkConfig(seed=2))
+        ue = net.add_ue("pixel6")
+        run_session(net, ue)
+        assert ue.last_cipher is CipherAlg.NEA2
+        assert ue.last_integrity is IntegrityAlg.NIA2
+
+    def test_reregistration_uses_guti(self):
+        net = FiveGNetwork(NetworkConfig(seed=3))
+        ue = net.add_ue("pixel5")
+        run_session(net, ue)
+        first_guti = ue.guti
+        run_session(net, ue, until=60.0)
+        assert ue.guti is not None and ue.guti != first_guti
+        series = MobiFlowCollector().parse_stream(net.pcap)
+        reg_requests = [r for r in series if r.msg == "RegistrationRequest"]
+        assert len(reg_requests) == 2
+        # Second registration identifies by TMSI, not SUCI.
+        assert reg_requests[0].suci is not None
+        assert reg_requests[1].suci is None
+        assert reg_requests[1].s_tmsi is not None
+
+    def test_concurrent_ues_all_register(self):
+        net = FiveGNetwork(NetworkConfig(seed=4))
+        ues = [net.add_ue(p) for p in ("pixel5", "pixel6", "galaxy_a22", "galaxy_a53")]
+        for i, ue in enumerate(ues):
+            net.sim.schedule(0.05 * i, ue.start_session)
+        net.run(until=30.0)
+        assert net.amf.registrations_accepted == 4
+        assert all(ue.guti is not None for ue in ues)
+
+    def test_unknown_subscriber_rejected(self):
+        net = FiveGNetwork(NetworkConfig(seed=5))
+        ue = net.add_ue("pixel5")
+        # Corrupt the UE's identity so deconcealment fails.
+        ue.make_suci = lambda: "suci-001-01-unknownunknown"
+        ue.start_session()
+        net.run(until=10.0)
+        assert net.amf.registrations_rejected == 1
+        assert net.amf.registrations_accepted == 0
+
+
+class TestRelease:
+    def test_quiet_ue_released_by_inactivity_timer(self):
+        net = FiveGNetwork(NetworkConfig(seed=6))
+        # deregister_prob=0 profile variant: clone pixel5 but never deregister
+        from dataclasses import replace
+
+        from repro.ran.ue import PROFILES
+
+        lazy = replace(PROFILES["pixel5"], deregister_prob=0.0, name="lazy")
+        ue = net.add_ue(lazy)
+        outcomes = run_session(net, ue, until=60.0)
+        assert outcomes == ["completed"]
+        assert ue.rrc_state is RrcState.IDLE
+        series = MobiFlowCollector().parse_stream(net.pcap)
+        names = series.message_names()
+        assert "RRCRelease" in names
+        assert "DeregistrationRequest" not in names
+
+    def test_deregistration_flow(self):
+        from dataclasses import replace
+
+        from repro.ran.ue import PROFILES
+
+        net = FiveGNetwork(NetworkConfig(seed=7))
+        eager = replace(PROFILES["pixel5"], deregister_prob=1.0, name="eager")
+        ue = net.add_ue(eager)
+        run_session(net, ue)
+        assert ue.fivegmm_state is FiveGmmState.DEREGISTERED
+        names = MobiFlowCollector().parse_stream(net.pcap).message_names()
+        assert "DeregistrationRequest" in names
+        assert "DeregistrationAccept" in names
+        assert "RRCRelease" in names
+
+    def test_cu_context_count_returns_to_zero(self):
+        net = FiveGNetwork(NetworkConfig(seed=8))
+        ue = net.add_ue("oai_ue")
+        run_session(net, ue, until=60.0)
+        assert net.cu.active_contexts == 0
+
+
+class TestNoiseResilience:
+    def test_sessions_complete_despite_setup_loss(self):
+        config = NetworkConfig(seed=9, channel=ChannelConfig(setup_loss_prob=0.5))
+        net = FiveGNetwork(config)
+        ue = net.add_ue("pixel5")
+        outcomes = run_session(net, ue, until=60.0)
+        # T300 retries recover from losses (0.5^4 residual failure odds,
+        # and seed 9 is a passing draw).
+        assert outcomes == ["completed"]
+
+    def test_duplicates_do_not_break_sessions(self):
+        config = NetworkConfig(seed=10, channel=ChannelConfig(duplicate_prob=0.2))
+        net = FiveGNetwork(config)
+        ues = [net.add_ue("pixel5"), net.add_ue("galaxy_a53")]
+        for i, ue in enumerate(ues):
+            net.sim.schedule(0.3 * i, ue.start_session)
+        net.run(until=60.0)
+        assert net.amf.registrations_accepted >= 2
+
+    def test_simulation_is_deterministic(self):
+        def capture_bytes(seed):
+            net = FiveGNetwork(NetworkConfig(seed=seed))
+            ue = net.add_ue("pixel5")
+            ue.start_session()
+            net.run(until=30.0)
+            return net.pcap.to_bytes()
+
+        assert capture_bytes(11) == capture_bytes(11)
+        assert capture_bytes(11) != capture_bytes(12)
+
+
+class TestPagingAndServiceRequest:
+    def _registered_idle_ue(self, seed=20):
+        from dataclasses import replace
+
+        from repro.ran.ue import PROFILES
+
+        net = FiveGNetwork(NetworkConfig(seed=seed))
+        lazy = replace(PROFILES["pixel5"], deregister_prob=0.0, name="lazy")
+        ue = net.add_ue(lazy)
+        ue.start_session()
+        net.run(until=30.0)
+        assert ue.fivegmm_state is FiveGmmState.REGISTERED
+        assert ue.rrc_state is RrcState.IDLE
+        return net, ue
+
+    def test_paged_ue_answers_with_service_request(self):
+        net, ue = self._registered_idle_ue()
+        assert net.amf.page_supi(str(ue.supi)) is True
+        net.run(until=60.0)
+        names = MobiFlowCollector().parse_stream(net.pcap).message_names()
+        assert "Paging" in names
+        assert "ServiceRequest" in names
+        assert "ServiceAccept" in names
+        assert names.count("RegistrationRequest") == 1  # only the first attach
+        assert net.amf.service_requests_accepted == 1
+
+    def test_mt_session_uses_mt_access_cause(self):
+        net, ue = self._registered_idle_ue(seed=21)
+        net.amf.page_supi(str(ue.supi))
+        net.run(until=60.0)
+        series = MobiFlowCollector().parse_stream(net.pcap)
+        setups = [r for r in series if r.msg == "RRCSetupRequest"]
+        assert setups[-1].establishment_cause == "mt-Access"
+
+    def test_guti_refreshed_after_service(self):
+        net, ue = self._registered_idle_ue(seed=22)
+        old_guti = ue.guti
+        old_tmsi = ue.s_tmsi
+        net.amf.page_supi(str(ue.supi))
+        net.run(until=60.0)
+        names = MobiFlowCollector().parse_stream(net.pcap).message_names()
+        assert "ConfigurationUpdateCommand" in names
+        assert ue.guti != old_guti
+        assert ue.s_tmsi != old_tmsi
+
+    def test_paging_deregistered_ue_fails(self):
+        net = FiveGNetwork(NetworkConfig(seed=23))
+        from dataclasses import replace
+
+        from repro.ran.ue import PROFILES
+
+        eager = replace(PROFILES["pixel5"], deregister_prob=1.0, name="eager")
+        ue = net.add_ue(eager)
+        ue.start_session()
+        net.run(until=30.0)
+        assert ue.fivegmm_state is FiveGmmState.DEREGISTERED
+        assert net.amf.page_supi(str(ue.supi)) is False
+
+    def test_paging_connected_ue_fails(self):
+        net = FiveGNetwork(NetworkConfig(seed=24))
+        ue = net.add_ue("pixel5")
+        ue.start_session()
+        net.run(until=1.5)  # mid-session
+        assert net.amf.page_supi(str(ue.supi)) is False
+
+    def test_unknown_supi_page_fails(self):
+        net = FiveGNetwork(NetworkConfig(seed=25))
+        assert net.amf.page_supi("imsi-00101999999999") is False
+
+    def test_paged_session_completes_and_ue_remains_registered(self):
+        net, ue = self._registered_idle_ue(seed=26)
+        net.amf.page_supi(str(ue.supi))
+        net.run(until=80.0)
+        assert ue.rrc_state is RrcState.IDLE
+        assert ue.fivegmm_state is FiveGmmState.REGISTERED
+        # And pageable again with the refreshed identity.
+        assert net.amf.page_supi(str(ue.supi)) is True
+
+    def test_scenario_generates_mt_sessions(self):
+        from repro.experiments.colosseum import ColosseumScenario, run_scenario
+
+        net = FiveGNetwork(NetworkConfig(seed=27))
+        stats = run_scenario(
+            net,
+            ColosseumScenario(
+                duration_s=120.0, mean_think_time_s=4.0, mt_session_fraction=0.5
+            ),
+        )
+        assert stats.mt_sessions_paged > 0
+        names = MobiFlowCollector().parse_stream(net.pcap).message_names()
+        assert "ServiceAccept" in names
+
+
+class TestProvisioning:
+    def test_unknown_profile_rejected(self):
+        net = FiveGNetwork()
+        with pytest.raises(ValueError, match="unknown profile"):
+            net.add_ue("iphone99")
+
+    def test_supis_are_unique(self):
+        net = FiveGNetwork()
+        supis = {str(net.add_ue("pixel5").supi) for _ in range(10)}
+        assert len(supis) == 10

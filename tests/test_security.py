@@ -1,0 +1,140 @@
+"""Tests for the 5G security algorithm model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ran.security import (
+    AuthVector,
+    CipherAlg,
+    IntegrityAlg,
+    SecurityContext,
+    UsimCredential,
+    derive_kamf,
+    select_algorithms,
+)
+
+K = bytes(range(16))
+
+
+class TestAlgorithms:
+    def test_null_detection(self):
+        assert CipherAlg.NEA0.is_null
+        assert not CipherAlg.NEA2.is_null
+        assert IntegrityAlg.NIA0.is_null
+        assert not IntegrityAlg.NIA2.is_null
+
+    def test_identifier_values_match_spec(self):
+        assert int(CipherAlg.NEA0) == 0
+        assert int(CipherAlg.NEA3) == 3
+        assert int(IntegrityAlg.NIA1) == 1
+
+
+class TestUsimCredential:
+    def test_key_must_be_128_bits(self):
+        with pytest.raises(ValueError):
+            UsimCredential("imsi-00101123456789", b"short")
+
+    def test_res_matches_xres(self):
+        cred = UsimCredential("imsi-00101123456789", K)
+        rand = b"\x01" * 16
+        vector = cred.generate_vector(rand, sqn=1)
+        assert cred.compute_res(rand) == vector.xres_star
+
+    def test_res_differs_for_different_rand(self):
+        cred = UsimCredential("imsi-00101123456789", K)
+        assert cred.compute_res(b"\x01" * 16) != cred.compute_res(b"\x02" * 16)
+
+    def test_wrong_key_fails_res_check(self):
+        cred = UsimCredential("imsi-00101123456789", K)
+        other = UsimCredential("imsi-00101123456789", bytes(16))
+        rand = b"\x03" * 16
+        assert cred.compute_res(rand) != other.compute_res(rand)
+
+    def test_autn_verification(self):
+        cred = UsimCredential("imsi-00101123456789", K)
+        rand = b"\x04" * 16
+        vector = cred.generate_vector(rand, sqn=7)
+        assert cred.verify_autn(rand, vector.autn, sqn=7)
+        assert not cred.verify_autn(rand, vector.autn, sqn=8)
+
+    def test_kamf_depends_on_supi(self):
+        cred = UsimCredential("imsi-00101123456789", K)
+        rand = b"\x05" * 16
+        vector = cred.generate_vector(rand, sqn=1)
+        assert derive_kamf(vector.kausf, "imsi-a") != derive_kamf(vector.kausf, "imsi-b")
+
+
+class TestSecurityContext:
+    def _ctx(self, cipher=CipherAlg.NEA2, integrity=IntegrityAlg.NIA2):
+        return SecurityContext(kamf=b"\xaa" * 32, cipher_alg=cipher, integrity_alg=integrity)
+
+    def test_protect_unprotect_roundtrip(self):
+        ctx = self._ctx()
+        payload = b"nas message payload"
+        assert ctx.unprotect(ctx.protect(payload)) == payload
+
+    def test_null_cipher_is_identity(self):
+        ctx = self._ctx(cipher=CipherAlg.NEA0)
+        assert ctx.protect(b"plaintext") == b"plaintext"
+
+    def test_non_null_cipher_changes_payload(self):
+        ctx = self._ctx()
+        assert ctx.protect(b"plaintext") != b"plaintext"
+
+    def test_different_algorithms_produce_different_ciphertext(self):
+        a = self._ctx(cipher=CipherAlg.NEA1).protect(b"payload-bytes")
+        b = self._ctx(cipher=CipherAlg.NEA2).protect(b"payload-bytes")
+        assert a != b
+
+    def test_mac_verify(self):
+        ctx = self._ctx()
+        mac = ctx.mac(b"message")
+        assert ctx.verify(b"message", mac)
+        assert not ctx.verify(b"tampered", mac)
+
+    def test_null_integrity_mac_is_zero(self):
+        ctx = self._ctx(integrity=IntegrityAlg.NIA0)
+        assert ctx.mac(b"anything") == b"\x00\x00\x00\x00"
+
+    def test_kgnb_is_stable(self):
+        ctx = self._ctx()
+        assert ctx.kgnb() == ctx.kgnb()
+
+    @given(st.binary(max_size=300))
+    def test_protect_preserves_length(self, payload):
+        ctx = SecurityContext(
+            kamf=b"\xbb" * 32, cipher_alg=CipherAlg.NEA2, integrity_alg=IntegrityAlg.NIA2
+        )
+        assert len(ctx.protect(payload)) == len(payload)
+
+
+class TestAlgorithmSelection:
+    def test_picks_network_preference_order(self):
+        cipher, integrity = select_algorithms(
+            [CipherAlg.NEA1, CipherAlg.NEA2],
+            [IntegrityAlg.NIA1, IntegrityAlg.NIA2],
+            [CipherAlg.NEA2, CipherAlg.NEA1],
+            [IntegrityAlg.NIA2, IntegrityAlg.NIA1],
+        )
+        assert cipher is CipherAlg.NEA2
+        assert integrity is IntegrityAlg.NIA2
+
+    def test_null_only_ue_with_permissive_network(self):
+        cipher, integrity = select_algorithms(
+            [CipherAlg.NEA0],
+            [IntegrityAlg.NIA0],
+            [CipherAlg.NEA2, CipherAlg.NEA0],
+            [IntegrityAlg.NIA2, IntegrityAlg.NIA0],
+        )
+        assert cipher.is_null
+        assert integrity.is_null
+
+    def test_no_common_algorithm_raises(self):
+        with pytest.raises(ValueError):
+            select_algorithms(
+                [CipherAlg.NEA0],
+                [IntegrityAlg.NIA0],
+                [CipherAlg.NEA2],
+                [IntegrityAlg.NIA2],
+            )

@@ -1,0 +1,152 @@
+"""Tests for the discrete-event engine and RNG registry."""
+
+import pytest
+
+from repro.sim import Entity, RngRegistry, Simulator
+from repro.sim.engine import SimulationError
+
+
+class TestSimulator:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, lambda: fired.append("b"))
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(3.0, lambda: fired.append("c"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_break_by_scheduling_order(self):
+        sim = Simulator()
+        fired = []
+        for label in "abcde":
+            sim.schedule(1.0, lambda l=label: fired.append(l))
+        sim.run()
+        assert fired == list("abcde")
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(0.5, lambda: times.append(sim.now))
+        sim.schedule(1.5, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [0.5, 1.5]
+
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(5.0, lambda: fired.append(5))
+        sim.run(until=2.0)
+        assert fired == [1]
+        assert sim.now == 2.0
+        assert sim.pending == 1
+
+    def test_run_max_events(self):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule(float(i), lambda i=i: fired.append(i))
+        processed = sim.run(max_events=3)
+        assert processed == 3
+        assert fired == [0, 1, 2]
+
+    def test_events_scheduled_during_run_fire(self):
+        sim = Simulator()
+        fired = []
+
+        def outer():
+            fired.append("outer")
+            sim.schedule(1.0, lambda: fired.append("inner"))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert fired == ["outer", "inner"]
+        assert sim.now == 2.0
+
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append("x"))
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_step_fires_one_event(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(2.0, lambda: fired.append(2))
+        assert sim.step() is True
+        assert fired == [1]
+        assert sim.step() is True
+        assert sim.step() is False
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(4):
+            sim.schedule(float(i), lambda: None)
+        sim.run()
+        assert sim.events_processed == 4
+
+
+class TestRngRegistry:
+    def test_streams_are_deterministic_per_seed(self):
+        a = RngRegistry(seed=42).stream("channel")
+        b = RngRegistry(seed=42).stream("channel")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_streams_are_independent_of_other_streams(self):
+        reg1 = RngRegistry(seed=42)
+        reg1.stream("noise").random()  # extra draws elsewhere
+        value1 = reg1.stream("channel").random()
+
+        reg2 = RngRegistry(seed=42)
+        value2 = reg2.stream("channel").random()
+        assert value1 == value2
+
+    def test_different_names_differ(self):
+        reg = RngRegistry(seed=0)
+        assert reg.stream("a").random() != reg.stream("b").random()
+
+    def test_different_seeds_differ(self):
+        a = RngRegistry(seed=1).stream("s").random()
+        b = RngRegistry(seed=2).stream("s").random()
+        assert a != b
+
+    def test_reset_restores_initial_sequence(self):
+        reg = RngRegistry(seed=7)
+        first = [reg.stream("x").random() for _ in range(3)]
+        reg.reset("x")
+        again = [reg.stream("x").random() for _ in range(3)]
+        assert first == again
+
+    def test_reset_all(self):
+        reg = RngRegistry(seed=7)
+        first_x = reg.stream("x").random()
+        first_y = reg.stream("y").random()
+        reg.reset_all()
+        assert reg.stream("x").random() == first_x
+        assert reg.stream("y").random() == first_y
+
+
+class TestEntity:
+    def test_entity_schedules_and_logs(self):
+        sim = Simulator()
+        entity = Entity(sim, "e1")
+        entity.schedule(1.0, lambda: entity.log("hello"))
+        sim.run()
+        assert entity.logs == [(1.0, "hello")]
+        assert entity.now == 1.0

@@ -1,0 +1,137 @@
+"""Tests for the TLV wire codec, including property-based roundtrips."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import wire
+
+
+SIMPLE_VALUES = [
+    None,
+    True,
+    False,
+    0,
+    1,
+    -1,
+    127,
+    128,
+    255,
+    256,
+    -(2**70),
+    2**70,
+    0.0,
+    -1.5,
+    math.inf,
+    "",
+    "hello",
+    "ünïcode ✓",
+    b"",
+    b"\x00\xff" * 10,
+    [],
+    [1, "two", None],
+    {},
+    {"k": "v", "n": 3, "nested": {"list": [1, [2, [3]]]}},
+]
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("value", SIMPLE_VALUES, ids=repr)
+    def test_simple_values(self, value):
+        assert wire.decode(wire.encode(value)) == value
+
+    def test_nan_roundtrip(self):
+        out = wire.decode(wire.encode(float("nan")))
+        assert math.isnan(out)
+
+    def test_tuple_decodes_as_list(self):
+        assert wire.decode(wire.encode((1, 2))) == [1, 2]
+
+    def test_bytearray_decodes_as_bytes(self):
+        assert wire.decode(wire.encode(bytearray(b"abc"))) == b"abc"
+
+    def test_dict_preserves_insertion_order(self):
+        value = {"z": 1, "a": 2, "m": 3}
+        assert list(wire.decode(wire.encode(value))) == ["z", "a", "m"]
+
+    def test_long_payload_lengths(self):
+        blob = b"x" * 70000  # forces multi-byte length encoding
+        assert wire.decode(wire.encode(blob)) == blob
+
+    def test_encoding_is_deterministic(self):
+        value = {"a": [1, 2.5, "s"], "b": {"c": b"\x01"}}
+        assert wire.encode(value) == wire.encode(value)
+
+
+class TestErrors:
+    def test_unsupported_type(self):
+        with pytest.raises(wire.WireError):
+            wire.encode(object())
+
+    def test_non_string_dict_key(self):
+        with pytest.raises(wire.WireError):
+            wire.encode({1: "x"})
+
+    def test_trailing_bytes_rejected(self):
+        data = wire.encode(1) + b"\x00"
+        with pytest.raises(wire.WireError):
+            wire.decode(data)
+
+    def test_truncated_payload(self):
+        data = wire.encode("hello")[:-1]
+        with pytest.raises(wire.WireError):
+            wire.decode(data)
+
+    def test_empty_input(self):
+        with pytest.raises(wire.WireError):
+            wire.decode(b"")
+
+    def test_unknown_tag(self):
+        with pytest.raises(wire.WireError):
+            wire.decode(b"\x7f")
+
+    def test_truncated_float(self):
+        with pytest.raises(wire.WireError):
+            wire.decode(b"\x04\x00\x00")
+
+    def test_decode_prefix_returns_remainder(self):
+        data = wire.encode(1) + wire.encode("two")
+        value, rest = wire.decode_prefix(data)
+        assert value == 1
+        assert wire.decode(rest) == "two"
+
+
+# Recursive strategy over all supported wire types.
+wire_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers()
+    | st.floats(allow_nan=False)
+    | st.text(max_size=50)
+    | st.binary(max_size=50),
+    lambda children: st.lists(children, max_size=5)
+    | st.dictionaries(st.text(max_size=10), children, max_size=5),
+    max_leaves=20,
+)
+
+
+class TestPropertyBased:
+    @settings(max_examples=200)
+    @given(wire_values)
+    def test_roundtrip_any_supported_value(self, value):
+        assert wire.decode(wire.encode(value)) == value
+
+    @settings(max_examples=100)
+    @given(st.integers())
+    def test_int_roundtrip_any_size(self, value):
+        assert wire.decode(wire.encode(value)) == value
+
+    @settings(max_examples=100)
+    @given(st.binary(max_size=200))
+    def test_garbage_never_crashes_decoder(self, data):
+        try:
+            wire.decode(data)
+        except wire.WireError:
+            pass  # rejecting is fine; crashing is not
