@@ -3,7 +3,12 @@
 Expected shape: detection latency stays inside the near-RT budget and the
 benign alarm rate stays in single digits as traffic grows 4x; wall-clock
 cost grows roughly linearly with load.
+
+Each load point also carries a compact ``repro.obs`` metrics summary
+(events, RMR messages, SDL writes, ingest latency), saved as JSON.
 """
+
+import json
 
 from conftest import save_artifact
 
@@ -17,6 +22,15 @@ def test_pipeline_scalability(benchmark, artifact_dir):
     text = result.render()
     save_artifact(artifact_dir, "scale.txt", text)
     print("\n" + text)
+    save_artifact(
+        artifact_dir,
+        "scale_metrics.json",
+        json.dumps(
+            {f"x{p.multiplier}": p.metrics for p in result.points},
+            indent=2,
+            sort_keys=True,
+        ),
+    )
 
     benchmark.extra_info["points"] = {
         f"x{p.multiplier}": {

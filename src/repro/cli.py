@@ -10,7 +10,10 @@ Gives operators the paper's workflow without writing code:
   the flagged sessions;
 - ``explain``  — run LLM expert referencing over a session of a telemetry
   file and print the analysis;
-- ``report``   — regenerate one of the paper's tables/figures.
+- ``report``   — regenerate one of the paper's tables/figures;
+- ``obs``      — run the live testbed and dump the observability artifacts:
+  the per-stage closed-loop latency breakdown (capture -> indication -> SDL
+  -> detection -> verdict -> action) and the metrics registry.
 """
 
 from __future__ import annotations
@@ -160,6 +163,46 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments.testbed import LiveTestbedConfig, run_live_testbed
+
+    run = run_live_testbed(LiveTestbedConfig(live_duration_s=args.duration))
+    print(run.render_stage_breakdown())
+    latency = run.latency
+    print(
+        f"\nnear-RT budget check: detection (capture->alarm) "
+        f"max={latency['detection_s'].get('max', 0.0):.4f}s (budget 1.0s)"
+    )
+    print(f"summary: {run.summary}\n")
+    registry = run.xsec.obs.metrics
+    print(registry.render())
+    if args.logs:
+        print(f"\nlast {args.logs} structured log records:")
+        print(run.xsec.obs.logger.render(limit=args.logs))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(
+                {
+                    "stage_breakdown": run.stage_breakdown,
+                    "latency": run.latency,
+                    "summary": run.summary,
+                    "metrics": run.metrics_snapshot,
+                },
+                fh,
+                indent=2,
+                sort_keys=True,
+            )
+        print(f"\nobs snapshot -> {args.json}")
+    if args.jsonl:
+        with open(args.jsonl, "w", encoding="utf-8") as fh:
+            fh.write(registry.to_jsonl() + "\n")
+        print(f"metrics JSONL -> {args.jsonl}")
+    detection_max = latency["detection_s"].get("max")
+    return 0 if detection_max is not None and detection_max < 1.0 else 3
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="6G-XSec reproduction command line"
@@ -202,6 +245,19 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("table2", "table3", "figure4", "figure5", "rag", "poisoning", "scale"),
     )
     report.set_defaults(func=_cmd_report)
+
+    obs = commands.add_parser(
+        "obs", help="run the live testbed, dump metrics + loop-stage latency"
+    )
+    obs.add_argument(
+        "--duration", type=float, default=60.0, help="live traffic duration (sim s)"
+    )
+    obs.add_argument("--json", help="write the full obs snapshot here (.json)")
+    obs.add_argument("--jsonl", help="write the metrics registry here (.jsonl)")
+    obs.add_argument(
+        "--logs", type=int, default=0, help="also print the last N structured logs"
+    )
+    obs.set_defaults(func=_cmd_obs)
     return parser
 
 

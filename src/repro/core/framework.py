@@ -80,6 +80,11 @@ class SixGXSec:
         self.smo = Smo(self.ric)
         self._started = False
 
+    @property
+    def obs(self):
+        """The deployment's observability context (``repro.obs``)."""
+        return self.net.sim.obs
+
     def start(self) -> None:
         """Bring up E2 and the xApps (idempotent)."""
         if self._started:
@@ -103,6 +108,7 @@ class SixGXSec:
 
         def train(dataset):
             detector = build_detector(self.config)
+            detector.attach_metrics(self.obs.metrics)
             detector.fit(dataset, **kwargs)
             return detector
 

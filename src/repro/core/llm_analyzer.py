@@ -18,6 +18,7 @@ from repro.core.config import XsecConfig
 from repro.core.mobiwatch import XSEC_ANOMALY_MTYPE, AnomalyEvent, MobiWatchXApp
 from repro.llm.analyst import ExpertAnalyst, ExpertVerdict
 from repro.llm.client import LlmClient, SimulatedLlmServer
+from repro.obs.metrics import WallTimer
 from repro.oran.xapp import XApp
 
 SDL_VERDICT_NS = "xsec.verdicts"
@@ -68,6 +69,28 @@ class LlmAnalyzerXApp(XApp):
         self._session_last_query: dict[int, float] = {}
         self.queries_sent = 0
         self.queries_suppressed = 0
+        metrics = self.sim.obs.metrics
+        self._queries_counter = metrics.counter(
+            "llm.queries_total", help="LLM queries issued"
+        )
+        self._suppressed_counter = metrics.counter(
+            "llm.queries_suppressed_total", help="queries dropped by cooldown"
+        )
+        self._latency_hist = metrics.histogram(
+            "llm.response_latency_s", help="simulated provider round trip"
+        )
+        self._analyze_wall = metrics.histogram(
+            "llm.analyze_wall_s", help="prompt build + parse wall-clock cost"
+        )
+        self._verdict_counters = {
+            confirmed: metrics.counter(
+                "llm.verdicts_total", labels={"confirmed": str(confirmed).lower()}
+            )
+            for confirmed in (True, False)
+        }
+        self._review_counter = metrics.counter(
+            "llm.human_review_total", help="contradictions escalated to humans"
+        )
 
     def start(self) -> None:
         super().start()
@@ -93,24 +116,35 @@ class LlmAnalyzerXApp(XApp):
         last = self._session_last_query.get(event.session_id)
         if last is not None and self.now - last < self.config.llm_session_cooldown_s:
             self.queries_suppressed += 1
+            self._suppressed_counter.inc()
             return
         self._session_last_query[event.session_id] = self.now
         records = self.mobiwatch.context_for(
             event, max_records=self.config.llm_context_records
         )
         self.queries_sent += 1
+        self._queries_counter.inc()
         # Simulate the web-API round trip: the verdict lands after the
         # provider's response latency.
         prompt_probe = "".join(r.msg for r in records)
         latency = self.server.latency_for(self.config.llm_model, prompt_probe)
+        self._latency_hist.observe(latency)
         self.schedule(
             latency, lambda: self._complete(event, records), name=f"{self.name}.llm"
         )
 
     def _complete(self, event: AnomalyEvent, records) -> None:
-        verdict = self.analyst.analyze(records, detector_flagged=True)
+        with WallTimer(self._analyze_wall):
+            verdict = self.analyst.analyze(records, detector_flagged=True)
         result = VerdictEvent(anomaly=event, verdict=verdict, completed_at=self.now)
         self.verdicts.append(result)
+        self._verdict_counters[result.confirmed].inc()
+        self.log(
+            "verdict",
+            session=event.session_id,
+            confirmed=result.confirmed,
+            needs_human_review=result.needs_human_review,
+        )
         self.sdl.set(
             SDL_VERDICT_NS,
             f"{len(self.verdicts):06d}",
@@ -130,5 +164,6 @@ class LlmAnalyzerXApp(XApp):
         if result.needs_human_review:
             # Contradictory results require human supervision (§3.3).
             self.human_review_queue.append(result)
+            self._review_counter.inc()
         for callback in self._callbacks:
             callback(result)

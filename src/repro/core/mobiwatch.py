@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.core.config import XsecConfig
 from repro.ml.detector import AnomalyDetector
+from repro.obs.metrics import WallTimer
 from repro.oran.e2ap import ActionType, RicIndication
 from repro.oran.e2sm_kpm import (
     ACTION_BLOCKLIST_TMSI,
@@ -66,11 +67,35 @@ class MobiWatchXApp(XApp):
         self.series = TelemetrySeries()
         self._encoder = self.config.spec.streaming_encoder()
         self._rows: list[np.ndarray] = []
+        # Arrival (ingest) sim-time per record index — feeds the loop traces.
+        self._arrival_ts: list[float] = []
         self._session_records: dict[int, list[int]] = {}
         self._alerted_counts: dict[int, int] = {}
         self.records_seen = 0
         self.windows_scored = 0
         self.anomalies: list[AnomalyEvent] = []
+        metrics = self.sim.obs.metrics
+        self._records_counter = metrics.counter(
+            "mobiwatch.records_total", help="telemetry records ingested"
+        )
+        self._windows_counter = metrics.counter(
+            "mobiwatch.windows_scored_total", help="inference passes"
+        )
+        self._anomaly_counter = metrics.counter(
+            "mobiwatch.anomalies_total", help="alarms emitted"
+        )
+        self._capture_to_ingest = metrics.histogram(
+            "mobiwatch.capture_to_ingest_s",
+            help="record capture -> xApp ingest (report batching + E2 + RMR)",
+        )
+        self._inference_wall = metrics.histogram(
+            "mobiwatch.inference_wall_s", help="detector scoring wall-clock cost"
+        )
+        self._score_hist = metrics.histogram(
+            "mobiwatch.window_score",
+            buckets=(1e-4, 5e-4, 1e-3, 5e-3, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0),
+            help="detector anomaly scores",
+        )
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -86,6 +111,12 @@ class MobiWatchXApp(XApp):
         if detector.threshold.threshold is None:
             raise ValueError("detector must be fitted before deployment")
         self.detector = detector
+        detector.attach_metrics(self.sim.obs.metrics)
+        self.log(
+            "detector deployed",
+            detector=detector.name,
+            threshold=detector.threshold.threshold,
+        )
 
     # -- policy (A1) -----------------------------------------------------------
 
@@ -119,8 +150,11 @@ class MobiWatchXApp(XApp):
                 )
             self.series.append(record)
             self._rows.append(self._encoder.push(record))
+            self._arrival_ts.append(self.now)
             self.sdl.set(SDL_TELEMETRY_NS, f"{index:09d}", _record_value(record))
             self.records_seen += 1
+            self._records_counter.inc()
+            self._capture_to_ingest.observe(self.now - record.timestamp)
             if record.session_id:
                 self._session_records.setdefault(record.session_id, []).append(index)
                 touched.append(record.session_id)
@@ -168,8 +202,11 @@ class MobiWatchXApp(XApp):
             padded[window - len(chosen) :] = rows
             rows = padded
         vector = rows.reshape(1, -1)
-        score = float(self.detector.scores(vector)[0])
+        with WallTimer(self._inference_wall):
+            score = float(self.detector.scores(vector)[0])
         self.windows_scored += 1
+        self._windows_counter.inc()
+        self._score_hist.observe(score)
         threshold = self.detector.threshold.threshold or 0.0
         if score <= threshold:
             return
@@ -189,6 +226,13 @@ class MobiWatchXApp(XApp):
             newest_record_ts=newest.timestamp,
         )
         self.anomalies.append(event)
+        self._anomaly_counter.inc()
+        self.log(
+            "anomaly detected",
+            session=session_id,
+            score=round(score, 5),
+            threshold=round(threshold, 5),
+        )
         self.sdl.set(
             SDL_ANOMALY_NS,
             f"{len(self.anomalies):06d}",
@@ -202,6 +246,12 @@ class MobiWatchXApp(XApp):
         self.ric.rmr.send(XSEC_ANOMALY_MTYPE, -1, event)
 
     # -- context access (for the analyzer) ---------------------------------------------
+
+    def arrival_time(self, record_index: int) -> Optional[float]:
+        """Sim time when the record reached this xApp (loop-trace input)."""
+        if 0 <= record_index < len(self._arrival_ts):
+            return self._arrival_ts[record_index]
+        return None
 
     def context_for(self, event: AnomalyEvent, max_records: int = 40) -> list[MobiFlowRecord]:
         """The flagged window plus surrounding stream context."""

@@ -43,6 +43,8 @@ class ScalePoint:
     detection_mean_s: Optional[float]
     detection_max_s: Optional[float]
     wall_clock_s: float
+    # Compact repro.obs summary of the point's run (events, messages, I/O).
+    metrics: dict = field(default_factory=dict)
 
     @property
     def alarm_rate(self) -> float:
@@ -95,10 +97,12 @@ def run_scale_experiment(config: Optional[ScaleConfig] = None) -> ScaleResult:
             mean_think_time_s=6.0,
         )
         run_scenario(xsec.net, scenario, run=False)
-        started = time.time()
+        # perf_counter: monotonic, immune to wall-clock adjustments.
+        started = time.perf_counter()
         xsec.run(until=config.live_duration_s + 20.0)
-        wall = time.time() - started
+        wall = time.perf_counter() - started
         latency = xsec.pipeline.latency_report()["detection_s"]
+        sim = xsec.net.sim
         points.append(
             ScalePoint(
                 multiplier=multiplier,
@@ -109,6 +113,16 @@ def run_scale_experiment(config: Optional[ScaleConfig] = None) -> ScaleResult:
                 detection_mean_s=latency.get("mean"),
                 detection_max_s=latency.get("max"),
                 wall_clock_s=wall,
+                metrics={
+                    "sim_events": sim.events_processed,
+                    "sim_events_per_wall_s": sim.events_processed / wall if wall else 0.0,
+                    "rmr_messages": xsec.ric.rmr.messages_routed,
+                    "sdl_writes": xsec.ric.sdl.writes,
+                    "indications": xsec.agent.indications_sent,
+                    "capture_to_ingest_s": xsec.obs.metrics.histogram(
+                        "mobiwatch.capture_to_ingest_s"
+                    ).stats(),
+                },
             )
         )
     return ScaleResult(points=points)

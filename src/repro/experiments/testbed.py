@@ -37,6 +37,12 @@ class LiveTestbedRun:
     attacks: list
     summary: dict
     latency: dict
+    # repro.obs artifacts: per-stage loop latency + full metrics snapshot.
+    stage_breakdown: dict = field(default_factory=dict)
+    metrics_snapshot: dict = field(default_factory=dict)
+
+    def render_stage_breakdown(self) -> str:
+        return self.xsec.pipeline.render_stage_breakdown()
 
     def detected_attack_instances(self) -> int:
         """Attack instances whose RNTIs/window overlap a confirmed incident."""
@@ -87,4 +93,6 @@ def run_live_testbed(config: Optional[LiveTestbedConfig] = None) -> LiveTestbedR
         attacks=attacks,
         summary=xsec.pipeline.summary(),
         latency=xsec.pipeline.latency_report(),
+        stage_breakdown=xsec.pipeline.stage_breakdown(),
+        metrics_snapshot=xsec.obs.snapshot(),
     )

@@ -20,6 +20,10 @@ import numpy as np
 from repro.ml.autoencoder import Autoencoder, TrainReport
 from repro.ml.lstm import LstmPredictor
 from repro.ml.threshold import PercentileThreshold
+from repro.obs.metrics import MetricsRegistry
+
+# Reconstruction/prediction errors live well below 1.0 on benign traffic.
+_ERROR_BUCKETS = (1e-4, 5e-4, 1e-3, 5e-3, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0)
 
 
 class AnomalyDetector(abc.ABC):
@@ -32,6 +36,11 @@ class AnomalyDetector(abc.ABC):
         self.feature_dim = feature_dim
         self.threshold = PercentileThreshold(percentile=percentile)
         self.training_scores: Optional[np.ndarray] = None
+        self.metrics: Optional[MetricsRegistry] = None
+
+    def attach_metrics(self, metrics: MetricsRegistry) -> None:
+        """Route training/inference error distributions into a registry."""
+        self.metrics = metrics
 
     def _check(self, windows: np.ndarray) -> np.ndarray:
         windows = np.asarray(windows, dtype=np.float64)
@@ -49,6 +58,20 @@ class AnomalyDetector(abc.ABC):
         report = self._fit_model(windows, **train_kwargs)
         self.training_scores = self.scores(windows)
         self.threshold.fit(self.training_scores)
+        if self.metrics is not None:
+            loss_hist = self.metrics.histogram(
+                f"ml.{self.name}.epoch_loss", buckets=_ERROR_BUCKETS
+            )
+            for loss in report.epoch_losses:
+                loss_hist.observe(loss)
+            score_hist = self.metrics.histogram(
+                f"ml.{self.name}.training_score", buckets=_ERROR_BUCKETS
+            )
+            for score in self.training_scores:
+                score_hist.observe(float(score))
+            self.metrics.gauge(f"ml.{self.name}.threshold").set(
+                self.threshold.threshold or 0.0
+            )
         return report
 
     def detect(self, windows: np.ndarray) -> np.ndarray:

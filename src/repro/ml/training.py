@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.ml.losses import mse_loss
 from repro.ml.optim import Adam
+from repro.obs.metrics import MetricsRegistry
 
 
 @dataclass
@@ -60,12 +61,15 @@ def train_minibatch(
     inputs: np.ndarray,
     targets: np.ndarray,
     config: Optional[TrainConfig] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> TrainHistory:
     """Train ``trainable`` to map ``inputs`` to ``targets`` with MSE/Adam.
 
     With ``validation_fraction > 0`` a tail split is held out; training
     stops once the validation loss fails to improve for ``patience``
-    epochs, and the history records where the best epoch was.
+    epochs, and the history records where the best epoch was. With a
+    ``metrics`` registry, per-epoch losses are observed into
+    ``ml.train.epoch_loss`` (and validation into ``ml.train.val_loss``).
     """
     config = config or TrainConfig()
     inputs = np.asarray(inputs, dtype=np.float64)
@@ -88,6 +92,17 @@ def train_minibatch(
     optimizer = Adam(trainable.params(), lr=config.lr)
     shuffle = np.random.default_rng(config.seed)
     history = TrainHistory()
+    loss_buckets = (1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0)
+    epoch_loss_hist = (
+        metrics.histogram("ml.train.epoch_loss", buckets=loss_buckets)
+        if metrics is not None
+        else None
+    )
+    val_loss_hist = (
+        metrics.histogram("ml.train.val_loss", buckets=loss_buckets)
+        if metrics is not None
+        else None
+    )
     best_val = float("inf")
     stale_epochs = 0
     n = len(train_x)
@@ -105,9 +120,13 @@ def train_minibatch(
             epoch_loss += loss
             batches += 1
         history.epoch_losses.append(epoch_loss / max(batches, 1))
+        if epoch_loss_hist is not None:
+            epoch_loss_hist.observe(history.epoch_losses[-1])
 
         if n_val:
             val_loss, _ = mse_loss(trainable.forward(val_x), val_y)
+            if val_loss_hist is not None:
+                val_loss_hist.observe(val_loss)
             # Inference pass must not leave stale BPTT caches behind.
             if hasattr(trainable, "_caches"):
                 trainable._caches = []

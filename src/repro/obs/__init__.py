@@ -1,0 +1,68 @@
+"""repro.obs — dependency-free observability for the whole stack.
+
+Three pillars (see the module docstrings for details):
+
+- :mod:`repro.obs.metrics` — counters / gauges / histograms with labeled
+  series, snapshot/reset, JSONL + text export;
+- :mod:`repro.obs.logging` — leveled structured events with a ring buffer
+  and pluggable sinks (library code never ``print()``\\ s);
+- :mod:`repro.obs.tracing` — spans over the closed control loop with a
+  per-stage latency breakdown and critical-path report.
+
+Everything here is stdlib-only so any layer (sim, oran, telemetry, ml,
+core) can import it without cycles. The conventional entry point is the
+simulator's context: ``sim.obs.metrics`` / ``sim.obs.logger`` /
+``sim.obs.tracer``.
+"""
+
+from repro.obs.context import ObsContext
+from repro.obs.logging import (
+    DEBUG,
+    ERROR,
+    INFO,
+    WARNING,
+    LogRecord,
+    ObsLogger,
+    ScopedLogger,
+    stderr_sink,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    WallTimer,
+)
+from repro.obs.tracing import Span, Trace, Tracer
+
+# Canonical stage names of the closed loop, in loop order — used by the
+# pipeline's trace builder, the CLI renderer, and the benchmark artifacts.
+LOOP_STAGES = (
+    "capture",
+    "indication",
+    "sdl_write",
+    "detection",
+    "verdict",
+    "action",
+)
+
+__all__ = [
+    "ObsContext",
+    "ObsLogger",
+    "ScopedLogger",
+    "LogRecord",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "WallTimer",
+    "Tracer",
+    "Trace",
+    "Span",
+    "LOOP_STAGES",
+    "DEBUG",
+    "INFO",
+    "WARNING",
+    "ERROR",
+    "stderr_sink",
+]

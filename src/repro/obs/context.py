@@ -1,0 +1,40 @@
+"""One observability context per simulation: metrics + logger + tracer.
+
+The :class:`~repro.sim.engine.Simulator` owns an :class:`ObsContext` and
+every entity reaches it as ``self.sim.obs`` — the same pattern as the RNG
+registry. All three pillars share the simulated clock, so exported records
+line up on the same timeline.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.obs.logging import ObsLogger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+
+
+class ObsContext:
+    """Bundles the three observability pillars around one clock."""
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+        self.metrics = MetricsRegistry(clock=clock)
+        self.logger = ObsLogger(clock=clock)
+        self.tracer = Tracer(clock=clock)
+
+    def set_clock(self, clock: Callable[[], float]) -> None:
+        """Rebind all pillars to a (simulated) clock."""
+        self.metrics.clock = clock
+        self.logger.clock = clock
+        self.tracer.clock = clock
+
+    def reset(self) -> None:
+        self.metrics.reset()
+        self.tracer.reset()
+
+    def snapshot(self) -> dict:
+        """Metrics snapshot plus trace summaries — the run's obs artifact."""
+        out = self.metrics.snapshot()
+        out["traces"] = self.tracer.critical_path_report()
+        return out

@@ -1,0 +1,165 @@
+"""Structured, component-scoped event logging.
+
+Library code must not ``print()`` — diagnostics flow through an
+:class:`ObsLogger` as leveled, timestamped records (simulated time + wall
+clock) kept in a bounded ring buffer and optionally fanned out to pluggable
+sinks (a file, a test assertion, stderr for operators). Each simulated
+entity gets a :class:`ScopedLogger` bound to its component name so records
+are attributable without threading strings everywhere.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+DEBUG = 10
+INFO = 20
+WARNING = 30
+ERROR = 40
+
+_LEVEL_NAMES = {DEBUG: "DEBUG", INFO: "INFO", WARNING: "WARNING", ERROR: "ERROR"}
+
+Sink = Callable[["LogRecord"], None]
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One structured event."""
+
+    sim_time: float
+    wall_time: float
+    level: int
+    component: str
+    message: str
+    fields: tuple = ()  # sorted ((key, value), ...) pairs
+
+    @property
+    def level_name(self) -> str:
+        return _LEVEL_NAMES.get(self.level, str(self.level))
+
+    def to_dict(self) -> dict:
+        return {
+            "sim_time_s": self.sim_time,
+            "wall_time_s": self.wall_time,
+            "level": self.level_name,
+            "component": self.component,
+            "message": self.message,
+            **dict(self.fields),
+        }
+
+    def render(self) -> str:
+        extra = " ".join(f"{k}={v}" for k, v in self.fields)
+        base = f"[{self.sim_time:9.3f}s] {self.level_name:<7} {self.component}: {self.message}"
+        return f"{base} {extra}".rstrip()
+
+
+class ObsLogger:
+    """Leveled logger with a ring buffer and pluggable sinks."""
+
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        capacity: int = 4096,
+        level: int = INFO,
+    ) -> None:
+        self.clock = clock or (lambda: 0.0)
+        self.level = level
+        self._records: deque[LogRecord] = deque(maxlen=capacity)
+        self._sinks: list[Sink] = []
+
+    # -- configuration --------------------------------------------------------
+
+    def set_level(self, level: int) -> None:
+        self.level = level
+
+    def add_sink(self, sink: Sink) -> None:
+        self._sinks.append(sink)
+
+    def remove_sink(self, sink: Sink) -> None:
+        if sink in self._sinks:
+            self._sinks.remove(sink)
+
+    # -- emission -------------------------------------------------------------
+
+    def log(self, level: int, component: str, message: str, **fields) -> Optional[LogRecord]:
+        if level < self.level:
+            return None
+        record = LogRecord(
+            sim_time=self.clock(),
+            wall_time=time.perf_counter(),
+            level=level,
+            component=component,
+            message=message,
+            fields=tuple(sorted(fields.items())),
+        )
+        self._records.append(record)
+        for sink in self._sinks:
+            sink(record)
+        return record
+
+    def debug(self, component: str, message: str, **fields):
+        return self.log(DEBUG, component, message, **fields)
+
+    def info(self, component: str, message: str, **fields):
+        return self.log(INFO, component, message, **fields)
+
+    def warning(self, component: str, message: str, **fields):
+        return self.log(WARNING, component, message, **fields)
+
+    def error(self, component: str, message: str, **fields):
+        return self.log(ERROR, component, message, **fields)
+
+    def scoped(self, component: str) -> "ScopedLogger":
+        return ScopedLogger(self, component)
+
+    # -- access ---------------------------------------------------------------
+
+    @property
+    def records(self) -> list[LogRecord]:
+        return list(self._records)
+
+    def records_for(self, component: str) -> list[LogRecord]:
+        return [r for r in self._records if r.component == component]
+
+    def render(self, limit: Optional[int] = None) -> str:
+        records = self.records
+        if limit is not None:
+            records = records[-limit:]
+        return "\n".join(record.render() for record in records)
+
+    def to_jsonl(self) -> str:
+        return "\n".join(json.dumps(r.to_dict(), sort_keys=True) for r in self._records)
+
+
+@dataclass
+class ScopedLogger:
+    """An :class:`ObsLogger` view bound to one component name."""
+
+    logger: ObsLogger
+    component: str
+
+    def log(self, level: int, message: str, **fields):
+        return self.logger.log(level, self.component, message, **fields)
+
+    def debug(self, message: str, **fields):
+        return self.logger.debug(self.component, message, **fields)
+
+    def info(self, message: str, **fields):
+        return self.logger.info(self.component, message, **fields)
+
+    def warning(self, message: str, **fields):
+        return self.logger.warning(self.component, message, **fields)
+
+    def error(self, message: str, **fields):
+        return self.logger.error(self.component, message, **fields)
+
+
+def stderr_sink(record: LogRecord) -> None:
+    """A ready-made sink for operators who do want console output."""
+    import sys
+
+    print(record.render(), file=sys.stderr)

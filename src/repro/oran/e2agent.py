@@ -53,7 +53,7 @@ class RicAgent(Entity):
         self.net = net
         self.e2 = e2
         self.node_id = node_id
-        self.collector = MobiFlowCollector()
+        self.collector = MobiFlowCollector(metrics=net.sim.obs.metrics)
         self._buffer: list[MobiFlowRecord] = []
         self._subscription: Optional[tuple[int, MobiFlowReportStyle]] = None
         # Installed fast-path policies: ric_request_id -> AccessRatePolicy.
@@ -61,6 +61,20 @@ class RicAgent(Entity):
         self._sequence = 0
         self.indications_sent = 0
         self.controls_executed = 0
+        metrics = net.sim.obs.metrics
+        self._indications_counter = metrics.counter(
+            "e2agent.indications_total", help="E2SM-KPM indications sent"
+        )
+        self._batch_records = metrics.histogram(
+            "e2agent.batch_records",
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256),
+            help="MobiFlow records per indication",
+        )
+        self._report_queue_latency = metrics.histogram(
+            "e2agent.report_queue_latency_s",
+            help="capture -> indication send, per record (report batching)",
+        )
+        self._controls_counters: dict[str, object] = {}
         # Tap the data-plane interfaces exactly where the paper instruments.
         net.f1.add_tap(self.collector.on_capture)
         net.ng.add_tap(self.collector.on_capture)
@@ -149,9 +163,14 @@ class RicAgent(Entity):
             # to this exact list.
             batch = self._buffer[:take]
             del self._buffer[:take]
+            now = self.now
+            for record in batch:
+                self._report_queue_latency.observe(now - record.timestamp)
+            self._batch_records.observe(len(batch))
             header, message = MobiFlowKpmModel.encode_indication(batch)
             self._sequence += 1
             self.indications_sent += 1
+            self._indications_counter.inc()
             self.e2.send_to_b(
                 _pdu_envelope(
                     RicIndication(
@@ -174,6 +193,13 @@ class RicAgent(Entity):
         success, outcome = self._execute(action, params)
         if success:
             self.controls_executed += 1
+            counter = self._controls_counters.get(action)
+            if counter is None:
+                counter = self._controls_counters[action] = self.sim.obs.metrics.counter(
+                    "e2agent.controls_executed_total", labels={"action": action}
+                )
+            counter.inc()
+            self.log(f"control executed: {outcome}", action=action)
         if request.ack_requested:
             self.e2.send_to_b(
                 _pdu_envelope(

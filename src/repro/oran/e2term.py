@@ -53,6 +53,16 @@ class E2Termination(Entity):
         self.subscriptions: dict[int, Subscription] = {}
         self.connected_nodes: dict[str, dict] = {}
         self.indications_received = 0
+        metrics = sim.obs.metrics
+        self._pdu_counters = {
+            kind: metrics.counter("e2term.pdus_total", labels={"type": kind})
+            for kind in ("setup", "sub_resp", "indication", "control_ack", "other")
+        }
+        self._indication_bytes = metrics.histogram(
+            "e2term.indication_bytes",
+            buckets=(64, 256, 1024, 4096, 16384, 65536, 262144),
+            help="encoded indication message sizes",
+        )
 
     # -- toward the E2 node -----------------------------------------------------
 
@@ -129,6 +139,7 @@ class E2Termination(Entity):
     def on_e2(self, envelope) -> None:
         pdu = _pdu_from_envelope(envelope)
         if isinstance(pdu, E2SetupRequest):
+            self._pdu_counters["setup"].inc()
             self.connected_nodes[pdu.e2_node_id] = pdu.ran_functions
             self.e2.send_to_a(
                 _pdu_envelope(
@@ -139,14 +150,19 @@ class E2Termination(Entity):
                 )
             )
         elif isinstance(pdu, RicSubscriptionResponse):
+            self._pdu_counters["sub_resp"].inc()
             subscription = self.subscriptions.get(pdu.ric_request_id)
             if subscription is not None:
                 subscription.admitted = pdu.admitted
             self.rmr.send(RIC_SUB_RESP, pdu.ric_request_id, pdu)
         elif isinstance(pdu, RicIndication):
             self.indications_received += 1
+            self._pdu_counters["indication"].inc()
+            self._indication_bytes.observe(len(pdu.indication_message))
             self.rmr.send(RIC_INDICATION, pdu.ric_request_id, pdu)
         elif isinstance(pdu, RicControlAck):
+            self._pdu_counters["control_ack"].inc()
             self.rmr.send(RIC_CONTROL_ACK, pdu.ric_request_id, pdu)
         else:
+            self._pdu_counters["other"].inc()
             self.log(f"unhandled E2AP PDU {pdu.pdu_name}")

@@ -28,7 +28,7 @@ class NearRtRic:
     def __init__(self, sim: Simulator, e2: InterfaceLink, ric_id: str = "nrt-ric-0") -> None:
         self.sim = sim
         self.ric_id = ric_id
-        self.sdl = SharedDataLayer()
+        self.sdl = SharedDataLayer(metrics=sim.obs.metrics)
         self.rmr = RmrRouter(sim)
         self.e2term = E2Termination(sim, ric_id, e2, self.rmr)
         self.xapps: dict[str, "XApp"] = {}

@@ -9,6 +9,7 @@ an endpoint, and sends are delivered asynchronously through the simulator
 
 from __future__ import annotations
 
+import time
 from typing import Any, Callable, Optional
 
 from repro.sim.engine import Simulator
@@ -40,6 +41,18 @@ class RmrRouter:
         self._routes: dict[tuple[int, int], list[str]] = {}
         self.messages_routed = 0
         self.messages_dropped = 0
+        metrics = sim.obs.metrics
+        self._routed_counter = metrics.counter(
+            "rmr.messages_routed_total", help="messages delivered to endpoints"
+        )
+        self._dropped_counter = metrics.counter(
+            "rmr.messages_dropped_total", help="messages with no matching route"
+        )
+        self._handler_wall = metrics.histogram(
+            "rmr.handler_wall_s", help="wall-clock cost of endpoint handlers"
+        )
+        # Per-mtype counters, cached so the send path stays one dict hit.
+        self._mtype_counters: dict[int, Any] = {}
 
     def register_endpoint(self, name: str, handler: Handler) -> None:
         if name in self._endpoints:
@@ -73,6 +86,7 @@ class RmrRouter:
         names = self.routes_for(mtype, sub_id)
         if not names:
             self.messages_dropped += 1
+            self._dropped_counter.inc()
             return 0
         delivered = 0
         for name in names:
@@ -82,8 +96,22 @@ class RmrRouter:
             delivered += 1
             self.sim.schedule(
                 self.INTERNAL_LATENCY_S,
-                lambda h=handler: h(mtype, sub_id, payload),
+                lambda h=handler: self._deliver(h, mtype, sub_id, payload),
                 name=f"rmr.{mtype}",
             )
         self.messages_routed += delivered
+        self._routed_counter.inc(delivered)
+        counter = self._mtype_counters.get(mtype)
+        if counter is None:
+            counter = self._mtype_counters[mtype] = self.sim.obs.metrics.counter(
+                "rmr.messages_total", labels={"mtype": str(mtype)}
+            )
+        counter.inc(delivered)
         return delivered
+
+    def _deliver(self, handler: Handler, mtype: int, sub_id: int, payload: Any) -> None:
+        start = time.perf_counter()
+        try:
+            handler(mtype, sub_id, payload)
+        finally:
+            self._handler_wall.observe(time.perf_counter() - start)

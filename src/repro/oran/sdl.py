@@ -10,9 +10,11 @@ new telemetry.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Callable, Iterator, Optional
 
 from repro import wire
+from repro.obs.metrics import MetricsRegistry
 
 WatchCallback = Callable[[str, str, Any], None]  # (namespace, key, value)
 
@@ -24,24 +26,41 @@ class SdlError(KeyError):
 class SharedDataLayer:
     """Namespaced key-value store with watch support."""
 
-    def __init__(self) -> None:
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
         self._data: dict[str, dict[str, bytes]] = {}
         self._watchers: dict[str, list[WatchCallback]] = {}
         self.writes = 0
         self.reads = 0
+        # Standalone SDLs (unit tests, offline tools) get a private registry.
+        metrics = metrics or MetricsRegistry()
+        self._writes_counter = metrics.counter("sdl.writes_total")
+        self._reads_counter = metrics.counter("sdl.reads_total")
+        self._value_bytes = metrics.histogram(
+            "sdl.value_bytes",
+            buckets=(16, 64, 256, 1024, 4096, 16384, 65536),
+            help="encoded value sizes",
+        )
+        self._write_wall = metrics.histogram(
+            "sdl.write_wall_s", help="wall-clock cost of encode+store+watch"
+        )
 
     # -- core KV -------------------------------------------------------------
 
     def set(self, namespace: str, key: str, value: Any) -> None:
         """Store ``value`` (must be wire-encodable) under ``namespace/key``."""
+        start = time.perf_counter()
         encoded = wire.encode(value)
         self._data.setdefault(namespace, {})[key] = encoded
         self.writes += 1
+        self._writes_counter.inc()
+        self._value_bytes.observe(len(encoded))
         for callback in self._watchers.get(namespace, []):
             callback(namespace, key, value)
+        self._write_wall.observe(time.perf_counter() - start)
 
     def get(self, namespace: str, key: str, default: Any = None) -> Any:
         self.reads += 1
+        self._reads_counter.inc()
         ns = self._data.get(namespace)
         if ns is None or key not in ns:
             return default

@@ -13,6 +13,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
+from repro.obs import ObsContext
 from repro.sim.rng import RngRegistry
 
 
@@ -78,12 +79,30 @@ class Simulator:
         sim.run()
     """
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0, obs: Optional[ObsContext] = None) -> None:
         self._queue = EventQueue()
         self._now = 0.0
         self._running = False
         self._events_processed = 0
         self.rng = RngRegistry(seed)
+        # Observability context shared by everything holding this simulator.
+        if obs is None:
+            obs = ObsContext(clock=lambda: self._now)
+        else:
+            obs.set_clock(lambda: self._now)
+        self.obs = obs
+        self._events_counter = obs.metrics.counter(
+            "sim.events_total", help="events fired by the engine"
+        )
+        # Gauges with collect functions cost nothing until snapshot time.
+        obs.metrics.gauge(
+            "sim.queue_depth", fn=lambda: len(self._queue), help="pending events"
+        )
+        obs.metrics.gauge(
+            "sim.events_per_sim_s",
+            fn=lambda: self._events_processed / self._now if self._now else 0.0,
+            help="event rate per simulated second",
+        )
 
     @property
     def now(self) -> float:
@@ -142,6 +161,8 @@ class Simulator:
                 event.callback()
                 processed += 1
                 self._events_processed += 1
+                # Inlined Counter.inc: this is the engine's innermost loop.
+                self._events_counter.value += 1
         finally:
             self._running = False
         return processed
@@ -154,4 +175,5 @@ class Simulator:
         self._now = event.time
         event.callback()
         self._events_processed += 1
+        self._events_counter.value += 1
         return True

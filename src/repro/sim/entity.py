@@ -18,6 +18,8 @@ class Entity:
         self.sim = sim
         self.name = name
         self._log: list[tuple[float, str]] = []
+        # Structured view of this entity's diagnostics (repro.obs).
+        self.obs_log = sim.obs.logger.scoped(name)
 
     @property
     def now(self) -> float:
@@ -27,9 +29,14 @@ class Entity:
         label = name or f"{self.name}.event"
         return self.sim.schedule(delay, callback, name=label)
 
-    def log(self, message: str) -> None:
-        """Record a timestamped diagnostic line (kept in memory, not printed)."""
+    def log(self, message: str, **fields) -> None:
+        """Record a timestamped diagnostic line (kept in memory, not printed).
+
+        Also routed to the simulation's structured logger so component
+        diagnostics are queryable/exportable via ``sim.obs.logger``.
+        """
         self._log.append((self.sim.now, message))
+        self.obs_log.info(message, **fields)
 
     @property
     def logs(self) -> list[tuple[float, str]]:

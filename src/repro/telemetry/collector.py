@@ -21,6 +21,7 @@ from __future__ import annotations
 import itertools
 from typing import Callable, Optional
 
+from repro.obs.metrics import MetricsRegistry
 from repro.ran import f1ap, ngap
 from repro.ran.messages import Message
 from repro.ran import nas as nas_messages
@@ -48,10 +49,21 @@ def _tmsi_from_guti(guti: str) -> Optional[int]:
 class MobiFlowCollector:
     """Stateful parser from interface captures to MobiFlow records."""
 
-    def __init__(self) -> None:
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
         self.series = TelemetrySeries()
         self._subscribers: list[Subscriber] = []
         self._session_ids = itertools.count(1)
+        # Offline parsers (pcap tooling) run without a simulation registry.
+        metrics = metrics or MetricsRegistry()
+        self._record_counters = {
+            protocol: metrics.counter(
+                "mobiflow.records_total", labels={"protocol": protocol}
+            )
+            for protocol in ("RRC", "NAS")
+        }
+        self._sessions_counter = metrics.counter(
+            "mobiflow.sessions_total", help="sessions opened by the collector"
+        )
         # Wiring state learned from the envelopes.
         self._du_id_to_rnti: dict[int, int] = {}
         self._du_id_to_cu_id: dict[int, int] = {}
@@ -88,6 +100,7 @@ class MobiFlowCollector:
             rnti = message.c_rnti
             self._du_id_to_rnti[message.gnb_du_ue_id] = rnti
             session = next(self._session_ids)
+            self._sessions_counter.inc()
             self._rnti_session[rnti] = session
             rrc = Message.from_wire(message.rrc_container)
             self._emit_rrc(timestamp, rnti, rrc)
@@ -198,5 +211,8 @@ class MobiFlowCollector:
 
     def _append(self, record: MobiFlowRecord) -> None:
         self.series.append(record)
+        counter = self._record_counters.get(record.protocol)
+        if counter is not None:
+            counter.inc()
         for subscriber in self._subscribers:
             subscriber(record)
