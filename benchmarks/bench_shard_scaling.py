@@ -1,0 +1,78 @@
+"""Bench S1 — shard/worker scaling of the ingest+scoring substrate.
+
+Sweeps SDL shard counts (inference workers track the shard count) and
+records, per point, the maximum telemetry rate the substrate sustains with
+zero drops and every record's capture -> verdict latency inside the 1 s
+near-RT budget. A fault-injection pass kills one shard mid-run
+(replication 2) and asserts zero acknowledged writes are lost.
+
+Expected shape: sustained throughput grows monotonically with the shard
+count and reaches >= 3x at 8 shards; the fault run completes every verdict.
+
+Runs two ways:
+
+- under pytest-benchmark (full sweep, artifacts under ``benchmarks/out/``);
+- as a plain script for CI smoke: ``python benchmarks/bench_shard_scaling.py
+  --smoke`` (no pytest-benchmark needed), exit 1 on any violated check.
+"""
+
+import json
+import sys
+
+
+def _run(config):
+    from repro.scale.bench import run_scale_bench
+
+    return run_scale_bench(config)
+
+
+def test_shard_scaling(benchmark, artifact_dir):
+    from conftest import save_artifact
+
+    from repro.scale.bench import ScaleBenchConfig
+
+    config = ScaleBenchConfig()
+    result = benchmark.pedantic(lambda: _run(config), rounds=1, iterations=1)
+    text = result.render()
+    save_artifact(artifact_dir, "shard_scaling.txt", text)
+    print("\n" + text)
+    save_artifact(
+        artifact_dir,
+        "shard_scaling.json",
+        json.dumps(result.to_dict(), indent=2, sort_keys=True),
+    )
+
+    benchmark.extra_info["speedup"] = round(result.speedup(), 2)
+    benchmark.extra_info["points"] = {
+        str(p.shards): round(p.sustained.throughput, 1) for p in result.points
+    }
+
+    violations = result.check(min_speedup=3.0)
+    assert not violations, "; ".join(violations)
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    from repro.scale.bench import ScaleBenchConfig, smoke_config
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="small CI sweep")
+    parser.add_argument("--json", help="write the machine-readable result here")
+    args = parser.parse_args(argv)
+
+    config = smoke_config() if args.smoke else ScaleBenchConfig()
+    result = _run(config)
+    print(result.render())
+    print(f"\nspeedup: {result.speedup():.2f}x (wall {result.workload_wall_s:.1f}s)")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(result.to_dict(), fh, indent=2, sort_keys=True)
+    violations = result.check()
+    for violation in violations:
+        print(f"FAIL: {violation}", file=sys.stderr)
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.scale.settings import ScaleSettings
 from repro.telemetry.features import FeatureSpec
 
 
@@ -49,3 +50,8 @@ class XsecConfig:
     auto_rate_limit: bool = False
     rate_limit_max_setups: int = 3
     rate_limit_window_s: float = 1.0
+
+    # Horizontal scaling (repro.scale): sharded SDL, ingest batching,
+    # batched inference pool. Defaults preserve the seed's single-node
+    # behaviour bit-for-bit (see docs/SCALING.md).
+    scale: ScaleSettings = field(default_factory=ScaleSettings)

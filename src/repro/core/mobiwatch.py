@@ -32,6 +32,8 @@ from repro.oran.e2sm_kpm import (
     MobiFlowReportStyle,
 )
 from repro.oran.xapp import XApp
+from repro.scale.pool import InferencePool
+from repro.scale.sharded_sdl import ShardedSdl
 from repro.telemetry.mobiflow import MobiFlowRecord, TelemetrySeries
 
 # RMR message type for anomaly events toward the analyzer xApp.
@@ -96,6 +98,23 @@ class MobiWatchXApp(XApp):
             buckets=(1e-4, 5e-4, 1e-3, 5e-3, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0),
             help="detector anomaly scores",
         )
+        self._detection_latency = metrics.histogram(
+            "mobiwatch.detection_latency_s",
+            help="newest telemetry entry of a flagged window -> alarm",
+        )
+        # repro.scale: UE-sharded SDL placement + batched inference pool.
+        # Both default off, keeping the seed's inline per-window path.
+        self._sharded_sdl = isinstance(self.sdl, ShardedSdl)
+        self.pool: Optional[InferencePool] = None
+        if self.config.scale.pooling_enabled:
+            self.pool = InferencePool(
+                lambda matrix: self.detector.scores(matrix),
+                workers=self.config.scale.pool_workers,
+                batch_windows=self.config.scale.pool_batch_windows,
+                service_time_per_window_s=self.config.scale.pool_service_time_s,
+                metrics=metrics,
+                clock=lambda: self.sim.now,
+            )
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -151,7 +170,17 @@ class MobiWatchXApp(XApp):
             self.series.append(record)
             self._rows.append(self._encoder.push(record))
             self._arrival_ts.append(self.now)
-            self.sdl.set(SDL_TELEMETRY_NS, f"{index:09d}", _record_value(record))
+            if self._sharded_sdl:
+                # Place telemetry by UE session so one session's records
+                # stay on one shard (and its replicas).
+                self.sdl.set(
+                    SDL_TELEMETRY_NS,
+                    f"{index:09d}",
+                    _record_value(record),
+                    shard_key=str(record.session_id or index),
+                )
+            else:
+                self.sdl.set(SDL_TELEMETRY_NS, f"{index:09d}", _record_value(record))
             self.records_seen += 1
             self._records_counter.inc()
             self._capture_to_ingest.observe(self.now - record.timestamp)
@@ -161,6 +190,7 @@ class MobiWatchXApp(XApp):
         if self.detector is not None:
             for session_id in dict.fromkeys(touched):
                 self._score_session(session_id)
+        self._flush_pool()
 
     # -- scoring ------------------------------------------------------------------------
 
@@ -189,6 +219,11 @@ class MobiWatchXApp(XApp):
         if len(indices) != count:
             return  # progressed (or another maturation check is pending)
         self._score_window(session_id, indices)
+        self._flush_pool()
+
+    def _flush_pool(self) -> None:
+        if self.pool is not None and self.pool.pending:
+            self.pool.flush()
 
     def _score_window(self, session_id: int, indices: list) -> None:
         if self.detector is None:
@@ -201,9 +236,30 @@ class MobiWatchXApp(XApp):
             padded = np.zeros((window, spec.dim), dtype=rows.dtype)
             padded[window - len(chosen) :] = rows
             rows = padded
+        if self.pool is not None:
+            record_count = len(indices)
+            self.pool.submit(
+                session_id,
+                rows.reshape(-1),
+                lambda score, done_at: self._handle_score(
+                    session_id, record_count, list(chosen), score, done_at
+                ),
+            )
+            return
         vector = rows.reshape(1, -1)
         with WallTimer(self._inference_wall):
             score = float(self.detector.scores(vector)[0])
+        self._handle_score(session_id, len(indices), chosen, score, self.now)
+
+    def _handle_score(
+        self,
+        session_id: int,
+        record_count: int,
+        chosen: list,
+        score: float,
+        detected_at: float,
+    ) -> None:
+        """Threshold + alert logic, shared by the inline and pooled paths."""
         self.windows_scored += 1
         self._windows_counter.inc()
         self._score_hist.observe(score)
@@ -211,12 +267,13 @@ class MobiWatchXApp(XApp):
         if score <= threshold:
             return
         # One alert per session per record-count (new evidence -> new alert).
-        if self._alerted_counts.get(session_id) == len(indices):
+        if self._alerted_counts.get(session_id) == record_count:
             return
-        self._alerted_counts[session_id] = len(indices)
+        self._alerted_counts[session_id] = record_count
         newest = self.series[chosen[-1]]
+        self._detection_latency.observe(max(0.0, detected_at - newest.timestamp))
         event = AnomalyEvent(
-            detected_at=self.now,
+            detected_at=detected_at,
             session_id=session_id,
             rnti=newest.rnti,
             s_tmsi=newest.s_tmsi,

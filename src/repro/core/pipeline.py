@@ -183,6 +183,23 @@ class ClosedLoopPipeline:
             "response_s": stats(response),
         }
 
+    def scale_report(self) -> dict:
+        """Horizontal-scaling health: shards, ingest batcher, inference pool.
+
+        Empty sections mean the corresponding repro.scale feature is off
+        (the seed's single-node path).
+        """
+        report: dict = {}
+        sdl = self.mobiwatch.sdl
+        if hasattr(sdl, "health"):
+            report["sdl"] = sdl.health()
+        batcher = getattr(self.mobiwatch.ric.e2term, "ingest_batcher", None)
+        if batcher is not None:
+            report["ingest"] = batcher.stats()
+        if self.mobiwatch.pool is not None:
+            report["pool"] = self.mobiwatch.pool.stats()
+        return report
+
     # -- loop tracing (repro.obs) ---------------------------------------------------
 
     def loop_tracer(self) -> Tracer:

@@ -26,6 +26,8 @@ from repro.oran.e2ap import (
 from repro.oran.e2agent import _pdu_envelope, _pdu_from_envelope
 from repro.oran.rmr import RIC_CONTROL_ACK, RIC_INDICATION, RIC_SUB_RESP, RmrRouter
 from repro.ran.links import InterfaceLink
+from repro.scale.batcher import BoundedBatcher
+from repro.scale.settings import ScaleSettings
 from repro.sim.entity import Entity
 from repro.sim.engine import Simulator
 
@@ -44,7 +46,14 @@ class Subscription:
 class E2Termination(Entity):
     """RIC-side E2AP endpoint + subscription manager."""
 
-    def __init__(self, sim: Simulator, ric_id: str, e2: InterfaceLink, rmr: RmrRouter) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        ric_id: str,
+        e2: InterfaceLink,
+        rmr: RmrRouter,
+        ingest: Optional[ScaleSettings] = None,
+    ) -> None:
         super().__init__(sim, f"e2term.{ric_id}")
         self.ric_id = ric_id
         self.e2 = e2
@@ -63,6 +72,24 @@ class E2Termination(Entity):
             buckets=(64, 256, 1024, 4096, 16384, 65536, 262144),
             help="encoded indication message sizes",
         )
+        # Optional bounded ingest batching between this termination and the
+        # xApps (repro.scale). Disabled (inline fan-out, the seed path)
+        # unless the scale settings ask for it.
+        self.ingest_batcher: Optional[BoundedBatcher] = None
+        if ingest is not None and ingest.batching_enabled:
+            self.ingest_batcher = BoundedBatcher(
+                self._deliver_indications,
+                capacity=ingest.ingest_capacity,
+                flush_records=ingest.ingest_flush_records,
+                flush_interval_s=ingest.ingest_flush_interval_s,
+                drop_policy=ingest.ingest_drop_policy,
+                scheduler=lambda delay, cb: sim.schedule(
+                    delay, cb, name=f"{self.name}.ingest"
+                ),
+                clock=lambda: sim.now,
+                metrics=metrics,
+                name=f"{self.name}.ingest",
+            )
 
     # -- toward the E2 node -----------------------------------------------------
 
@@ -159,10 +186,18 @@ class E2Termination(Entity):
             self.indications_received += 1
             self._pdu_counters["indication"].inc()
             self._indication_bytes.observe(len(pdu.indication_message))
-            self.rmr.send(RIC_INDICATION, pdu.ric_request_id, pdu)
+            if self.ingest_batcher is not None:
+                self.ingest_batcher.offer(pdu)
+            else:
+                self.rmr.send(RIC_INDICATION, pdu.ric_request_id, pdu)
         elif isinstance(pdu, RicControlAck):
             self._pdu_counters["control_ack"].inc()
             self.rmr.send(RIC_CONTROL_ACK, pdu.ric_request_id, pdu)
         else:
             self._pdu_counters["other"].inc()
             self.log(f"unhandled E2AP PDU {pdu.pdu_name}")
+
+    def _deliver_indications(self, batch: list) -> None:
+        """Batched RMR fan-out (the ingest batcher's flush target)."""
+        for pdu in batch:
+            self.rmr.send(RIC_INDICATION, pdu.ric_request_id, pdu)

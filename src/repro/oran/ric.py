@@ -16,6 +16,8 @@ from repro.oran.e2term import E2Termination
 from repro.oran.rmr import RmrRouter
 from repro.oran.sdl import SharedDataLayer
 from repro.ran.links import InterfaceLink
+from repro.scale.settings import ScaleSettings
+from repro.scale.sharded_sdl import ShardedSdl
 from repro.sim.engine import Simulator
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -25,12 +27,30 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class NearRtRic:
     """The near-RT RIC: platform services + xApp host."""
 
-    def __init__(self, sim: Simulator, e2: InterfaceLink, ric_id: str = "nrt-ric-0") -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        e2: InterfaceLink,
+        ric_id: str = "nrt-ric-0",
+        scale: Optional[ScaleSettings] = None,
+    ) -> None:
         self.sim = sim
         self.ric_id = ric_id
-        self.sdl = SharedDataLayer(metrics=sim.obs.metrics)
+        self.scale = scale or ScaleSettings()
+        if self.scale.sharding_enabled:
+            # The clustered-Redis SDL topology of the production OSC RIC.
+            self.sdl = ShardedSdl(
+                shards=self.scale.sdl_shards,
+                replication=self.scale.sdl_replication,
+                vnodes=self.scale.sdl_vnodes,
+                service_time_s=self.scale.sdl_service_time_s,
+                metrics=sim.obs.metrics,
+                clock=lambda: sim.now,
+            )
+        else:
+            self.sdl = SharedDataLayer(metrics=sim.obs.metrics)
         self.rmr = RmrRouter(sim)
-        self.e2term = E2Termination(sim, ric_id, e2, self.rmr)
+        self.e2term = E2Termination(sim, ric_id, e2, self.rmr, ingest=self.scale)
         self.xapps: dict[str, "XApp"] = {}
 
     def register_xapp(self, xapp: "XApp") -> None:

@@ -43,6 +43,9 @@ class SharedDataLayer:
         self._write_wall = metrics.histogram(
             "sdl.write_wall_s", help="wall-clock cost of encode+store+watch"
         )
+        self._watch_errors = metrics.counter(
+            "sdl.watch_errors_total", help="watch callbacks that raised"
+        )
 
     # -- core KV -------------------------------------------------------------
 
@@ -55,7 +58,12 @@ class SharedDataLayer:
         self._writes_counter.inc()
         self._value_bytes.observe(len(encoded))
         for callback in self._watchers.get(namespace, []):
-            callback(namespace, key, value)
+            # A raising watcher must not abort the write, skip the
+            # remaining watchers, or lose the write_wall observation.
+            try:
+                callback(namespace, key, value)
+            except Exception:
+                self._watch_errors.inc()
         self._write_wall.observe(time.perf_counter() - start)
 
     def get(self, namespace: str, key: str, default: Any = None) -> Any:

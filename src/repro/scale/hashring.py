@@ -1,0 +1,99 @@
+"""Consistent-hash ring with virtual nodes.
+
+Maps telemetry shard keys (RNTI / UE / session ids, or ``namespace/key``
+strings) onto shard names the way the OSC RIC's clustered Redis SDL maps
+keys onto hash slots: each physical node owns many virtual points on a
+ring, a key belongs to the first virtual point clockwise from its hash,
+and adding or removing one node relocates only ~K/N of the keys instead
+of rehashing everything.
+
+Hashing is SHA-1 based, so lookups are deterministic across processes and
+runs — a requirement for the reproduction's byte-stable captures.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right, insort
+from typing import Iterable, List
+
+
+def stable_hash(data: str) -> int:
+    """64-bit deterministic hash (never ``hash()``: that is salted per run)."""
+    return int.from_bytes(hashlib.sha1(data.encode("utf-8")).digest()[:8], "big")
+
+
+class HashRingError(ValueError):
+    """Raised on invalid ring operations (duplicate/unknown node, empty ring)."""
+
+
+class ConsistentHashRing:
+    """Deterministic consistent-hash ring over named nodes."""
+
+    def __init__(self, nodes: Iterable[str] = (), vnodes: int = 128) -> None:
+        if vnodes < 1:
+            raise HashRingError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = int(vnodes)
+        # Sorted list of (point, node) pairs; ties broken by node name.
+        self._ring: list[tuple[int, str]] = []
+        self._nodes: set[str] = set()
+        for node in nodes:
+            self.add_node(node)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    @property
+    def nodes(self) -> List[str]:
+        return sorted(self._nodes)
+
+    def _points(self, node: str) -> list[tuple[int, str]]:
+        return [(stable_hash(f"{node}#{v}"), node) for v in range(self.vnodes)]
+
+    def add_node(self, node: str) -> None:
+        if node in self._nodes:
+            raise HashRingError(f"node {node!r} already on the ring")
+        self._nodes.add(node)
+        for point in self._points(node):
+            insort(self._ring, point)
+
+    def remove_node(self, node: str) -> None:
+        if node not in self._nodes:
+            raise HashRingError(f"node {node!r} not on the ring")
+        self._nodes.remove(node)
+        drop = set(self._points(node))
+        self._ring = [point for point in self._ring if point not in drop]
+
+    def lookup(self, key: str) -> str:
+        """The node owning ``key`` (first virtual point clockwise)."""
+        return self.lookup_n(key, 1)[0]
+
+    def lookup_n(self, key: str, n: int) -> List[str]:
+        """The first ``n`` *distinct* nodes clockwise from ``key``'s hash.
+
+        Used for replica placement: element 0 is the primary, the rest are
+        successive replicas. Returns fewer than ``n`` names only when the
+        ring holds fewer than ``n`` nodes.
+        """
+        if not self._ring:
+            raise HashRingError("ring is empty")
+        n = min(n, len(self._nodes))
+        start = bisect_right(self._ring, (stable_hash(str(key)), "￿"))
+        owners: list[str] = []
+        for i in range(len(self._ring)):
+            node = self._ring[(start + i) % len(self._ring)][1]
+            if node not in owners:
+                owners.append(node)
+                if len(owners) == n:
+                    break
+        return owners
+
+    def distribution(self, keys: Iterable[str]) -> dict:
+        """Node -> key count, for balance checks and shard dashboards."""
+        counts = {node: 0 for node in self._nodes}
+        for key in keys:
+            counts[self.lookup(key)] += 1
+        return counts

@@ -1,0 +1,140 @@
+"""Batched inference pool: score many session windows per detector call.
+
+MobiWatch's seed path runs the detector once per telemetry indication per
+session — a ``[1, window * dim]`` matrix per call, so Python and BLAS
+dispatch overhead dominate at fleet scale. The pool accumulates pending
+window-scoring requests and scores them as one ``[batch, window * dim]``
+matrix (the detectors are already vectorized across the batch dimension),
+optionally sharded across logical workers by UE/session id on a
+consistent-hash ring so one UE's windows always score on one worker.
+
+Like the sharded SDL, each worker carries an optional per-window service
+time; ``flush`` reports per-request completion times so the scale bench
+can model parallel inference workers in simulated time while the
+vectorized call delivers the real wall-clock win.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+import numpy as np
+
+from repro.obs.metrics import MetricsRegistry, WallTimer
+from repro.scale.hashring import ConsistentHashRing
+
+# callback(score, completed_at_sim_s)
+ScoreCallback = Callable[[float, float], None]
+
+
+class InferencePool:
+    """Accumulate window-scoring requests; flush them as vectorized batches."""
+
+    def __init__(
+        self,
+        score_fn: Callable[[np.ndarray], np.ndarray],
+        *,
+        workers: int = 1,
+        batch_windows: int = 64,
+        vnodes: int = 32,
+        service_time_per_window_s: float = 0.0,
+        metrics: Optional[MetricsRegistry] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if batch_windows < 1:
+            raise ValueError(f"batch_windows must be >= 1, got {batch_windows}")
+        self._score_fn = score_fn
+        self.batch_windows = batch_windows
+        self.service_time_per_window_s = service_time_per_window_s
+        self._clock = clock or (lambda: 0.0)
+        self._worker_names = [f"worker-{i}" for i in range(workers)]
+        self._ring = (
+            ConsistentHashRing(self._worker_names, vnodes=vnodes)
+            if workers > 1
+            else None
+        )
+        self._busy_until = {name: 0.0 for name in self._worker_names}
+        # (worker, session_id, vector, callback) in submission order.
+        self._pending: list[tuple[str, Any, np.ndarray, ScoreCallback]] = []
+        self.windows_scored = 0
+        self.batches = 0
+        metrics = metrics or MetricsRegistry()
+        self._batches_counter = metrics.counter(
+            "pool.batches_total", help="vectorized detector calls"
+        )
+        self._windows_hist = metrics.histogram(
+            "pool.windows_per_batch",
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256, 512),
+            help="windows scored per detector call",
+        )
+        self._wall_hist = metrics.histogram(
+            "pool.inference_wall_s", help="wall-clock cost per vectorized call"
+        )
+        self._worker_counters = {
+            name: metrics.counter("pool.worker_windows_total", labels={"worker": name})
+            for name in self._worker_names
+        }
+        metrics.gauge(
+            "pool.pending_windows", fn=lambda: len(self._pending), help="queued requests"
+        )
+
+    @property
+    def workers(self) -> int:
+        return len(self._worker_names)
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    def worker_for(self, session_id: Any) -> str:
+        """Deterministic worker assignment (UE/session sharding)."""
+        if self._ring is None:
+            return self._worker_names[0]
+        return self._ring.lookup(str(session_id))
+
+    def submit(self, session_id: Any, vector: np.ndarray, callback: ScoreCallback) -> None:
+        """Queue one flattened window; auto-flush at ``batch_windows``."""
+        self._pending.append((self.worker_for(session_id), session_id, vector, callback))
+        if len(self._pending) >= self.batch_windows:
+            self.flush()
+
+    def flush(self) -> int:
+        """Score every pending window, one detector call per worker."""
+        if not self._pending:
+            return 0
+        pending, self._pending = self._pending, []
+        groups: dict[str, list[int]] = {}
+        for index, (worker, _, _, _) in enumerate(pending):
+            groups.setdefault(worker, []).append(index)
+        now = self._clock()
+        for worker in self._worker_names:
+            indices = groups.get(worker)
+            if not indices:
+                continue
+            matrix = np.stack([pending[i][2] for i in indices])
+            with WallTimer(self._wall_hist):
+                scores = self._score_fn(matrix)
+            completed = now
+            if self.service_time_per_window_s:
+                start = max(now, self._busy_until[worker])
+                completed = start + self.service_time_per_window_s * len(indices)
+                self._busy_until[worker] = completed
+            self.batches += 1
+            self._batches_counter.inc()
+            self._windows_hist.observe(len(indices))
+            self._worker_counters[worker].inc(len(indices))
+            self.windows_scored += len(indices)
+            for row, i in enumerate(indices):
+                pending[i][3](float(scores[row]), completed)
+        return len(pending)
+
+    def stats(self) -> dict:
+        return {
+            "workers": self.workers,
+            "batch_windows": self.batch_windows,
+            "windows_scored": self.windows_scored,
+            "batches": self.batches,
+            "pending": self.pending,
+        }

@@ -1,0 +1,133 @@
+"""repro.scale wired through the full stack (RIC, E2 term, MobiWatch).
+
+Checks both directions of the config flag:
+
+- defaults keep the seed's single-node components (no sharded SDL, no
+  ingest batcher, no inference pool) so behaviour is bit-identical;
+- a scaled-up config routes live traffic through all three and still
+  produces the same telemetry and detections.
+"""
+
+import pytest
+
+from repro.core import SixGXSec, XsecConfig
+from repro.experiments.datasets import BenignDatasetConfig, generate_benign_dataset
+from repro.oran.sdl import SharedDataLayer
+from repro.ran.network import NetworkConfig
+from repro.scale import ScaleSettings, ShardedSdl
+from repro.scale.bench import ScaleBenchConfig, run_scale_bench
+
+
+def scaled_settings():
+    return ScaleSettings(
+        sdl_shards=4,
+        sdl_replication=2,
+        ingest_flush_records=8,
+        ingest_flush_interval_s=0.01,
+        pool_batch_windows=4,
+        pool_workers=2,
+    )
+
+
+@pytest.fixture(scope="module")
+def benign_windows():
+    config = XsecConfig()
+    capture = generate_benign_dataset(
+        BenignDatasetConfig(duration_s=90.0, ue_mix=(("pixel5", 1), ("oai_ue", 1)))
+    )
+    return capture.labeled(config.spec, config.window, "benign").windowed.windows
+
+
+def run_live(config, benign_windows, seed=77):
+    xsec = SixGXSec(config, network_config=NetworkConfig(seed=seed))
+    xsec.train_from_benign(benign_windows)
+    for profile in ("pixel5", "oai_ue"):
+        ue = xsec.net.add_ue(profile)
+        xsec.net.sim.schedule(0.5, ue.start_session)
+    xsec.run(until=25.0)
+    return xsec
+
+
+class TestDefaultsAreSeedComponents:
+    def test_default_config_uses_single_node_path(self):
+        xsec = SixGXSec(XsecConfig())
+        assert type(xsec.ric.sdl) is SharedDataLayer
+        assert xsec.ric.e2term.ingest_batcher is None
+        assert xsec.mobiwatch.pool is None
+        assert xsec.pipeline.scale_report() == {}
+
+
+class TestScaledLivePipeline:
+    @pytest.fixture(scope="class")
+    def pair(self, benign_windows):
+        seed_cfg = XsecConfig(train_epochs=6)
+        scaled_cfg = XsecConfig(train_epochs=6, scale=scaled_settings())
+        return (
+            run_live(seed_cfg, benign_windows),
+            run_live(scaled_cfg, benign_windows),
+        )
+
+    def test_scaled_components_instantiated(self, pair):
+        _, scaled = pair
+        assert isinstance(scaled.ric.sdl, ShardedSdl)
+        assert scaled.ric.sdl.num_shards == 4
+        assert scaled.ric.e2term.ingest_batcher is not None
+        assert scaled.mobiwatch.pool is not None and scaled.mobiwatch.pool.workers == 2
+
+    def test_same_telemetry_reaches_mobiwatch(self, pair):
+        baseline, scaled = pair
+        assert baseline.mobiwatch.records_seen > 20
+        # Batching delays delivery (bounded by the flush interval) but must
+        # not lose or duplicate records on an uncongested run.
+        stats = scaled.ric.e2term.ingest_batcher.stats()
+        assert stats["dropped"] == 0
+        assert scaled.mobiwatch.records_seen == baseline.mobiwatch.records_seen
+
+    def test_batcher_accounting_closed(self, pair):
+        _, scaled = pair
+        stats = scaled.ric.e2term.ingest_batcher.stats()
+        assert stats["offered"] == stats["ingested"] + stats["dropped"] + stats["pending"]
+
+    def test_pool_scored_every_window(self, pair):
+        _, scaled = pair
+        assert scaled.mobiwatch.windows_scored > 0
+        assert scaled.mobiwatch.pool.windows_scored == scaled.mobiwatch.windows_scored
+
+    def test_telemetry_lands_in_sharded_sdl(self, pair):
+        _, scaled = pair
+        keys = scaled.ric.sdl.keys("xsec.mobiflow")
+        assert len(keys) == scaled.mobiwatch.records_seen
+        per_shard = scaled.ric.sdl.health()["per_shard_writes"]
+        assert sum(1 for writes in per_shard.values() if writes) >= 2
+
+    def test_scale_report_sections(self, pair):
+        _, scaled = pair
+        report = scaled.pipeline.scale_report()
+        assert set(report) == {"sdl", "ingest", "pool"}
+        assert report["sdl"]["alive"] == 4
+
+    def test_scored_window_counts_match_baseline(self, pair):
+        baseline, scaled = pair
+        # Identical traffic (same network seed): the scaled path must see
+        # the same records and score the same number of windows.
+        assert scaled.mobiwatch.records_seen == baseline.mobiwatch.records_seen
+        assert scaled.mobiwatch.windows_scored == baseline.mobiwatch.windows_scored
+
+
+class TestScaleBenchSmoke:
+    def test_tiny_sweep_passes_checks(self):
+        config = ScaleBenchConfig(
+            shards=(1, 2),
+            duration_s=0.5,
+            sessions=64,
+            bank_records=256,
+            train_epochs=1,
+            start_rate=500.0,
+            max_rate=8000.0,
+            fault_shards=2,
+            fault_kill_at_s=0.2,
+        )
+        result = run_scale_bench(config)
+        assert result.check() == []
+        assert result.fault is not None and result.fault.lost_acknowledged == 0
+        assert result.points[-1].sustained.throughput > result.points[0].sustained.throughput
