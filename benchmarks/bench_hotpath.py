@@ -1,0 +1,80 @@
+"""Bench H1 — the inference hot path (repro.hotpath).
+
+Measures the three hot-path optimizations against their seed equivalents:
+
+- per-record LSTM scoring latency: seed full-window re-run vs incremental
+  carried-state scoring (floor: >= 5x);
+- detector kernel throughput: uncompiled ``scores`` vs the compiled
+  float32 kernels, both detectors (floor: >= 2x);
+- wire codec MB/s: reference TLV encoder vs the fast interned-key path.
+
+Every run re-verifies the equality contracts (float64 bit-identity,
+byte-identical codec) and gates against the committed perf baseline
+``BENCH_hotpath.json`` at the repo root.
+
+Runs two ways:
+
+- under pytest-benchmark (full run, artifacts under ``benchmarks/out/``);
+- as a plain script for CI smoke: ``python benchmarks/bench_hotpath.py
+  --quick`` (no pytest-benchmark needed), exit 1 on any violated gate.
+  ``--update`` rewrites the committed baseline from a full run.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BASELINE = REPO_ROOT / "BENCH_hotpath.json"
+
+
+def _run(quick):
+    from repro.hotpath.bench import run_bench
+
+    return run_bench(quick=quick)
+
+
+def test_hotpath(benchmark, artifact_dir):
+    from conftest import save_artifact
+
+    from repro.hotpath.bench import load_baseline, violations
+
+    result = benchmark.pedantic(lambda: _run(False), rounds=1, iterations=1)
+    text = result.report()
+    save_artifact(artifact_dir, "hotpath.txt", text)
+    print("\n" + text)
+    save_artifact(
+        artifact_dir,
+        "hotpath.json",
+        json.dumps(result.to_dict(), indent=2, sort_keys=True),
+    )
+    failures = violations(result, load_baseline(BASELINE))
+    assert not failures, failures
+
+
+def main(argv):
+    from repro.hotpath.bench import load_baseline, run_bench, save_result, violations
+
+    quick = "--quick" in argv
+    update = "--update" in argv
+    result = _run(quick)
+    print(result.report())
+    if update:
+        if quick:
+            print("refusing to update the baseline from a --quick run", file=sys.stderr)
+            return 1
+        save_result(result, BASELINE)
+        print(f"baseline updated -> {BASELINE}")
+        return 0
+    baseline = load_baseline(BASELINE)
+    if baseline is None:
+        print(f"(no committed baseline at {BASELINE}; gating on floors only)")
+    failures = violations(result, baseline)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    sys.exit(main(sys.argv[1:]))

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.hotpath.settings import HotpathSettings
 from repro.scale.settings import ScaleSettings
 from repro.telemetry.features import FeatureSpec
 
@@ -55,3 +56,8 @@ class XsecConfig:
     # batched inference pool. Defaults preserve the seed's single-node
     # behaviour bit-for-bit (see docs/SCALING.md).
     scale: ScaleSettings = field(default_factory=ScaleSettings)
+
+    # Inference hot path (repro.hotpath): incremental per-session LSTM
+    # scoring, fused compiled kernels, arena window assembly. Defaults
+    # preserve the seed scoring path bit-for-bit (see docs/PERFORMANCE.md).
+    hotpath: HotpathSettings = field(default_factory=HotpathSettings)

@@ -14,13 +14,15 @@ accumulates telemetry.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace as dataclasses_replace
 from typing import Optional
 
 import numpy as np
 
 from repro.core.config import XsecConfig
-from repro.ml.detector import AnomalyDetector
+from repro.hotpath.arena import SessionWindowArena
+from repro.hotpath.incremental import IncrementalLstmScorer
+from repro.ml.detector import AnomalyDetector, LstmDetector
 from repro.obs.metrics import WallTimer
 from repro.oran.e2ap import ActionType, RicIndication
 from repro.oran.e2sm_kpm import (
@@ -102,6 +104,14 @@ class MobiWatchXApp(XApp):
             "mobiwatch.detection_latency_s",
             help="newest telemetry entry of a flagged window -> alarm",
         )
+        # repro.hotpath: per-session row arenas replace the _rows list (the
+        # last window becomes one contiguous view), and incremental LSTM
+        # scoring carries per-session hidden state. Defaults off, keeping
+        # the seed's assembly + full-window re-run path bit-identical.
+        self._arena: Optional[SessionWindowArena] = None
+        if self.config.hotpath.arena_enabled:
+            self._arena = SessionWindowArena(self.config.spec.dim, self.config.window)
+        self._incremental: Optional[IncrementalLstmScorer] = None
         # repro.scale: UE-sharded SDL placement + batched inference pool.
         # Both default off, keeping the seed's inline per-window path.
         self._sharded_sdl = isinstance(self.sdl, ShardedSdl)
@@ -131,6 +141,24 @@ class MobiWatchXApp(XApp):
             raise ValueError("detector must be fitted before deployment")
         self.detector = detector
         detector.attach_metrics(self.sim.obs.metrics)
+        hotpath = self.config.hotpath
+        if hotpath.compiled:
+            detector.compile(hotpath.dtype)
+        self._incremental = None
+        if hotpath.incremental:
+            if isinstance(detector, LstmDetector):
+                self._incremental = IncrementalLstmScorer(detector, hotpath)
+                # Sessions may already hold telemetry: replay their rows so
+                # the carried state matches record-by-record ingest.
+                for session_id in self._arena.session_ids():
+                    self._incremental.warm_up(
+                        session_id, self._arena.session_rows(session_id)
+                    )
+            else:
+                self.log(
+                    "hotpath.incremental ignored: carried-state scoring "
+                    f"needs the LSTM detector, got {detector.name}"
+                )
         self.log(
             "detector deployed",
             detector=detector.name,
@@ -162,13 +190,18 @@ class MobiWatchXApp(XApp):
             if index and record.timestamp < self.series[index - 1].timestamp:
                 # Batches from different report intervals can interleave
                 # slightly; process in arrival order, clamping the clock.
-                import dataclasses
-
-                record = dataclasses.replace(
+                record = dataclasses_replace(
                     record, timestamp=self.series[index - 1].timestamp
                 )
             self.series.append(record)
-            self._rows.append(self._encoder.push(record))
+            row = self._encoder.push(record)
+            if self._arena is not None:
+                if record.session_id:
+                    self._arena.append(record.session_id, row)
+                    if self._incremental is not None:
+                        self._incremental.push(record.session_id, row)
+            else:
+                self._rows.append(row)
             self._arrival_ts.append(self.now)
             if self._sharded_sdl:
                 # Place telemetry by UE session so one session's records
@@ -231,11 +264,26 @@ class MobiWatchXApp(XApp):
         window = self.config.window
         spec = self.config.spec
         chosen = indices[-window:]
-        rows = np.stack([self._rows[i] for i in chosen])
-        if len(chosen) < window:
-            padded = np.zeros((window, spec.dim), dtype=rows.dtype)
-            padded[window - len(chosen) :] = rows
-            rows = padded
+        if self._incremental is not None:
+            # O(1) carried-state scoring: one fused LSTM step was already
+            # paid at ingest; the score is a max over stored per-record
+            # errors. Bypasses the pool (there is no batch to amortize).
+            with WallTimer(self._inference_wall):
+                score = self._incremental.window_score(
+                    session_id, rows=self._arena.session_rows(session_id)
+                )
+            self._handle_score(session_id, len(indices), chosen, score, self.now)
+            return
+        if self._arena is not None:
+            # The arena's zero pad prefix makes the padded-or-full last
+            # window a single contiguous view: no stack, no pad allocation.
+            rows = self._arena.window_rows(session_id)
+        else:
+            rows = np.stack([self._rows[i] for i in chosen])
+            if len(chosen) < window:
+                padded = np.zeros((window, spec.dim), dtype=rows.dtype)
+                padded[window - len(chosen) :] = rows
+                rows = padded
         if self.pool is not None:
             record_count = len(indices)
             self.pool.submit(

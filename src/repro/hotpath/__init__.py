@@ -1,0 +1,29 @@
+"""repro.hotpath: the inference hot path, optimized behind default-off flags.
+
+Three independent optimizations for the live scoring path (see
+docs/PERFORMANCE.md):
+
+- :mod:`repro.hotpath.incremental` — O(1)-amortized per-session LSTM
+  scoring with carried hidden/cell state;
+- :mod:`repro.hotpath.compiled` — fused preallocated-buffer inference
+  kernels over contiguous float32/float64 weight snapshots;
+- :mod:`repro.hotpath.arena` — zero-copy per-session window assembly.
+
+All defaults in :class:`~repro.hotpath.settings.HotpathSettings` keep the
+seed scoring path bit-identical; :mod:`repro.hotpath.bench` measures the
+speedups and gates them against the committed ``BENCH_hotpath.json``.
+"""
+
+from repro.hotpath.arena import SessionWindowArena
+from repro.hotpath.compiled import CompiledModel, compile_detector
+from repro.hotpath.incremental import IncrementalLstmScorer, ScoreMismatch
+from repro.hotpath.settings import HotpathSettings
+
+__all__ = [
+    "CompiledModel",
+    "HotpathSettings",
+    "IncrementalLstmScorer",
+    "ScoreMismatch",
+    "SessionWindowArena",
+    "compile_detector",
+]

@@ -1,0 +1,342 @@
+"""Fused inference kernels over contiguous weight snapshots.
+
+The training-grade model objects pay costs inference never needs: per-call
+allocation of every intermediate, ``_StepCache`` bookkeeping for BPTT,
+backward-state stashes in every ``Dense``/``ReLU``. A :class:`CompiledModel`
+snapshots the detector's weights into contiguous arrays of the chosen
+precision and runs scoring through preallocated-buffer kernels
+(``np.dot(..., out=...)`` and in-place ufuncs).
+
+Equality contract (enforced by tests/test_hotpath.py):
+
+- **float64** kernels mirror the seed op sequence exactly — same GEMM
+  shapes, same association, same clip/exp/tanh calls — so scores compare
+  equal to the uncompiled path;
+- **float32** kernels trade precision for throughput; scores match the
+  float64 path within the documented
+  :class:`~repro.hotpath.settings.HotpathSettings` tolerances.
+
+Weight snapshots are taken at construction: recompile after any further
+training (``AnomalyDetector.fit`` drops its compiled scorer for exactly
+this reason).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def _as_dtype(dtype: str) -> np.dtype:
+    if dtype not in ("float64", "float32"):
+        raise ValueError(f"dtype must be 'float64' or 'float32', got {dtype!r}")
+    return np.dtype(dtype)
+
+
+def _sigmoid_inplace(buf: np.ndarray) -> None:
+    """In-place ``1 / (1 + exp(-clip(x, -60, 60)))`` — the seed's sigmoid."""
+    np.clip(buf, -60, 60, out=buf)
+    np.negative(buf, out=buf)
+    np.exp(buf, out=buf)
+    buf += 1.0
+    np.divide(1.0, buf, out=buf)
+
+
+class _DenseWeights:
+    """One Dense layer's weights, contiguous in the kernel dtype."""
+
+    __slots__ = ("w", "b")
+
+    def __init__(self, layer, dtype: np.dtype) -> None:
+        self.w = np.ascontiguousarray(layer.W.value, dtype=dtype)
+        self.b = np.ascontiguousarray(layer.b.value, dtype=dtype)
+
+
+class CompiledAutoencoder:
+    """Fused Dense+ReLU chain scoring windows like ``AutoencoderDetector``."""
+
+    def __init__(self, detector, dtype: str = "float32") -> None:
+        from repro.ml.layers import Dense, ReLU  # local: avoid cycle at import
+
+        self.dtype = _as_dtype(dtype)
+        self.window = detector.window
+        self.feature_dim = detector.feature_dim
+        self.aggregate = detector.aggregate
+        self.input_dim = detector.model.input_dim
+        # (weights, relu_after) per Dense layer, in forward order.
+        self._chain: list[tuple[_DenseWeights, bool]] = []
+        layers = detector.model.model.layers
+        for i, layer in enumerate(layers):
+            if isinstance(layer, Dense):
+                relu = i + 1 < len(layers) and isinstance(layers[i + 1], ReLU)
+                self._chain.append((_DenseWeights(layer, self.dtype), relu))
+            elif not isinstance(layer, ReLU):
+                raise TypeError(f"unsupported autoencoder layer {type(layer).__name__}")
+        self._capacity = 0
+        self._buffers: list[np.ndarray] = []
+        self._masks: list[np.ndarray] = []
+        self._input: Optional[np.ndarray] = None
+        self._diff: Optional[np.ndarray] = None
+        self._slot: Optional[np.ndarray] = None
+
+    def _ensure_capacity(self, n: int) -> None:
+        if n <= self._capacity:
+            return
+        cap = max(n, self._capacity * 2, 16)
+        self._input = np.empty((cap, self.input_dim), dtype=self.dtype)
+        self._buffers = [
+            np.empty((cap, weights.b.shape[0]), dtype=self.dtype)
+            for weights, _ in self._chain
+        ]
+        self._masks = [
+            np.empty((cap, weights.b.shape[0]), dtype=bool)
+            for weights, _ in self._chain
+        ]
+        self._diff = np.empty((cap, self.input_dim), dtype=self.dtype)
+        self._slot = np.empty((cap, self.window), dtype=self.dtype)
+        self._capacity = cap
+
+    def scores(self, windows: np.ndarray) -> np.ndarray:
+        """Anomaly score per window — ``AutoencoderDetector.scores`` fused."""
+        windows = np.asarray(windows)
+        n = windows.shape[0]
+        if n == 0:
+            return np.zeros(0)
+        self._ensure_capacity(n)
+        x = self._input[:n]
+        np.copyto(x, windows, casting="unsafe")
+        mirror = self.dtype == np.float64
+        out = x
+        for (weights, relu), buf, mask in zip(self._chain, self._buffers, self._masks):
+            layer_out = buf[:n]
+            np.dot(out, weights.w, out=layer_out)
+            layer_out += weights.b
+            if relu:
+                if mirror:
+                    # x * (x > 0): the seed ReLU's exact expression (keeps
+                    # the sign of -0.0, so float64 stays bit-identical).
+                    np.greater(layer_out, 0, out=mask[:n])
+                    layer_out *= mask[:n]
+                else:
+                    np.maximum(layer_out, 0, out=layer_out)
+            out = layer_out
+        diff = self._diff[:n]
+        np.subtract(out, x, out=diff)
+        np.multiply(diff, diff, out=diff)
+        shaped = diff.reshape(n, self.window, self.feature_dim)
+        if self.aggregate == "mean":
+            return np.asarray(np.mean(diff, axis=1), dtype=np.float64)
+        slot = self._slot[:n]
+        np.mean(shaped, axis=2, out=slot)
+        return np.asarray(slot.max(axis=1), dtype=np.float64)
+
+
+class CompiledLstm:
+    """Fused LSTM gate kernels: batch window scoring + the O(1) step.
+
+    The four gate matmuls run as two GEMMs into one preallocated ``[*, 4H]``
+    buffer; gate activations are in-place ufuncs on its quarter views. No
+    ``_StepCache`` objects, no per-step allocation.
+    """
+
+    def __init__(self, model, dtype: str = "float32") -> None:
+        self.dtype = _as_dtype(dtype)
+        self.input_dim = model.input_dim
+        self.hidden_dim = model.hidden_dim
+        self.output_dim = model.output_dim
+        hd = self.hidden_dim
+        # Snapshot with the gate columns permuted [i, f, g, o] -> [i, f, o, g]
+        # so the three sigmoid gates are one contiguous block: one fused
+        # sigmoid call instead of three. Each GEMM output column is the dot
+        # product of its own weight column alone, so permuting columns
+        # leaves every value bit-identical (asserted by the equality tests).
+        perm = np.concatenate(
+            [np.arange(0, 2 * hd), np.arange(3 * hd, 4 * hd), np.arange(2 * hd, 3 * hd)]
+        )
+        self.wx = np.ascontiguousarray(model.Wx.value[:, perm], dtype=self.dtype)
+        self.wh = np.ascontiguousarray(model.Wh.value[:, perm], dtype=self.dtype)
+        self.b = np.ascontiguousarray(model.b.value[perm], dtype=self.dtype)
+        self.head = _DenseWeights(model.head, self.dtype)
+        # Batch buffers (windows scoring), grown on demand.
+        self._capacity = 0
+        self._steps = 0
+        self._bufs: dict[str, np.ndarray] = {}
+        # Single-step buffers (incremental scoring), batch == 1.
+        h4 = 4 * hd
+        self._z1 = np.empty((1, h4), dtype=self.dtype)
+        self._z2 = np.empty((1, h4), dtype=self.dtype)
+        self._gtmp = np.empty((1, hd), dtype=self.dtype)
+        self._x1 = np.empty((1, self.input_dim), dtype=self.dtype)
+        self._pred1 = np.empty((1, self.output_dim), dtype=self.dtype)
+        self._diff1 = np.empty((1, self.output_dim), dtype=self.dtype)
+
+    # -- O(1) incremental step --------------------------------------------------
+
+    def new_state(self) -> tuple[np.ndarray, np.ndarray]:
+        """Fresh per-session (hidden, cell) state."""
+        h = np.zeros((1, self.hidden_dim), dtype=self.dtype)
+        c = np.zeros((1, self.hidden_dim), dtype=self.dtype)
+        return h, c
+
+    def step(self, row: np.ndarray, h: np.ndarray, c: np.ndarray) -> None:
+        """One fused LSTM step; updates ``h``/``c`` in place.
+
+        Mirrors the seed per-step ops exactly: in float64 the resulting
+        states are bit-identical to ``LstmPredictor.forward``'s recursion.
+        """
+        hd = self.hidden_dim
+        x = self._x1
+        np.copyto(x[0], row, casting="unsafe")
+        z = self._z1
+        np.dot(x, self.wx, out=z)
+        np.dot(h, self.wh, out=self._z2)
+        z += self._z2
+        z += self.b
+        # Permuted layout: [i | f | o] sigmoid block, then g.
+        i = z[:, :hd]
+        f = z[:, hd : 2 * hd]
+        o = z[:, 2 * hd : 3 * hd]
+        g = z[:, 3 * hd :]
+        _sigmoid_inplace(z[:, : 3 * hd])
+        np.tanh(g, out=g)
+        # c = f * c + i * g
+        np.multiply(f, c, out=c)
+        np.multiply(i, g, out=self._gtmp)
+        c += self._gtmp
+        # h = o * tanh(c)
+        np.tanh(c, out=self._gtmp)
+        np.multiply(o, self._gtmp, out=h)
+
+    def predict(self, h: np.ndarray) -> np.ndarray:
+        """Next-entry prediction from a carried state (``[1, output_dim]``).
+
+        Returns an internal buffer — consume before the next call.
+        """
+        np.dot(h, self.head.w, out=self._pred1)
+        self._pred1 += self.head.b
+        return self._pred1
+
+    def step_error(self, h: np.ndarray, target_row: np.ndarray) -> float:
+        """Prediction error of ``target_row`` given carried state ``h``."""
+        pred = self.predict(h)
+        diff = self._diff1
+        np.copyto(diff[0], target_row, casting="unsafe")
+        np.subtract(pred, diff, out=diff)
+        np.multiply(diff, diff, out=diff)
+        return float(np.mean(diff))
+
+    # -- batch window scoring ----------------------------------------------------
+
+    def _ensure_capacity(self, n: int, steps: int) -> None:
+        if n <= self._capacity and steps == self._steps:
+            return
+        cap = max(n, self._capacity * 2 if steps == self._steps else n, 16)
+        hd, h4 = self.hidden_dim, 4 * self.hidden_dim
+        self._bufs = {
+            "x": np.empty((cap, steps, self.input_dim), dtype=self.dtype),
+            "z": np.empty((cap, h4), dtype=self.dtype),
+            "zh": np.empty((cap, h4), dtype=self.dtype),
+            "h": np.empty((cap, hd), dtype=self.dtype),
+            "c": np.empty((cap, hd), dtype=self.dtype),
+            "tmp": np.empty((cap, hd), dtype=self.dtype),
+            "hs": np.empty((cap, steps, hd), dtype=self.dtype),
+            "pred": np.empty((cap * steps, self.output_dim), dtype=self.dtype),
+            "err": np.empty((cap, steps), dtype=self.dtype),
+        }
+        self._capacity = cap
+        self._steps = steps
+
+    def window_scores(self, windows: np.ndarray, window: int) -> np.ndarray:
+        """``LstmDetector.scores`` fused: worst next-step error per window."""
+        windows = np.asarray(windows)
+        n = windows.shape[0]
+        if n == 0:
+            return np.zeros(0)
+        steps = window - 1
+        self._ensure_capacity(n, steps)
+        b = self._bufs
+        hd = self.hidden_dim
+        # Unflatten into the kernel dtype once; inputs are entries 0..N-2,
+        # targets entries 1..N-1 (the seed's _split).
+        shaped = windows.reshape(n, window, self.input_dim)
+        xbuf = b["x"][:n]
+        np.copyto(xbuf, shaped[:, :-1, :], casting="unsafe")
+        h = b["h"][:n]
+        c = b["c"][:n]
+        h.fill(0.0)
+        c.fill(0.0)
+        z = b["z"][:n]
+        zh = b["zh"][:n]
+        tmp = b["tmp"][:n]
+        hs = b["hs"][:n]
+        for t in range(steps):
+            np.dot(xbuf[:, t, :], self.wx, out=z)
+            np.dot(h, self.wh, out=zh)
+            z += zh
+            z += self.b
+            # Permuted layout: [i | f | o] sigmoid block, then g.
+            i, f, o, g = (
+                z[:, :hd],
+                z[:, hd : 2 * hd],
+                z[:, 2 * hd : 3 * hd],
+                z[:, 3 * hd :],
+            )
+            _sigmoid_inplace(z[:, : 3 * hd])
+            np.tanh(g, out=g)
+            np.multiply(f, c, out=c)
+            np.multiply(i, g, out=tmp)
+            c += tmp
+            np.tanh(c, out=tmp)
+            np.multiply(o, tmp, out=h)
+            hs[:, t, :] = h
+        pred = b["pred"][: n * steps]
+        np.dot(hs.reshape(n * steps, hd), self.head.w, out=pred)
+        pred += self.head.b
+        # Per-step errors against the targets, then the window max.
+        shaped_pred = pred.reshape(n, steps, self.output_dim)
+        targets = xbuf  # reuse: overwrite inputs with the diff
+        np.copyto(targets, shaped[:, 1:, :], casting="unsafe")
+        np.subtract(shaped_pred, targets, out=shaped_pred)
+        np.multiply(shaped_pred, shaped_pred, out=shaped_pred)
+        err = b["err"][:n]
+        np.mean(shaped_pred, axis=2, out=err)
+        return np.asarray(err.max(axis=1), dtype=np.float64)
+
+
+class CompiledModel:
+    """Detector-agnostic fused scorer: ``scores(windows)`` like the seed."""
+
+    def __init__(self, detector, dtype: str = "float32") -> None:
+        from repro.ml.detector import AutoencoderDetector, LstmDetector
+
+        self.dtype = dtype
+        self.window = detector.window
+        if isinstance(detector, AutoencoderDetector):
+            self._impl = CompiledAutoencoder(detector, dtype)
+            self._kind = "autoencoder"
+        elif isinstance(detector, LstmDetector):
+            self._impl = CompiledLstm(detector.model, dtype)
+            self._kind = "lstm"
+        else:
+            raise TypeError(f"cannot compile {type(detector).__name__}")
+
+    @property
+    def kind(self) -> str:
+        return self._kind
+
+    @property
+    def lstm(self) -> CompiledLstm:
+        if self._kind != "lstm":
+            raise TypeError("not an LSTM compiled model")
+        return self._impl
+
+    def scores(self, windows: np.ndarray) -> np.ndarray:
+        if self._kind == "autoencoder":
+            return self._impl.scores(windows)
+        return self._impl.window_scores(windows, self.window)
+
+
+def compile_detector(detector, dtype: str = "float32") -> CompiledModel:
+    """Snapshot a fitted detector's weights into fused kernels."""
+    return CompiledModel(detector, dtype)

@@ -1,0 +1,91 @@
+"""Configuration knobs for the inference hot path (``repro.hotpath``).
+
+Kept dependency-free (like :mod:`repro.scale.settings`) so every layer can
+import it without cycles. **Every default preserves the seed's scoring
+behaviour bit-for-bit**: full-window batch re-runs, uncompiled float64
+kernels, list-of-rows window assembly.
+
+The three independent switches:
+
+- ``incremental`` — per-session carried LSTM hidden/cell state; each new
+  record costs one fused LSTM step instead of re-running the whole window
+  (O(1) amortized vs O(window) matmuls per record). Scores follow the
+  session-context semantics of
+  :meth:`repro.ml.detector.LstmDetector.session_window_scores` (the
+  offline evaluation path), and are *exactly* reproducible by the batch
+  replay in float64 mode — see docs/PERFORMANCE.md for the equality
+  contract. Implies ``arena`` (the replay needs the session row history).
+- ``compiled`` — snapshot detector weights into contiguous arrays and run
+  inference through fused preallocated-buffer kernels
+  (:mod:`repro.hotpath.compiled`). ``dtype`` selects the kernel precision:
+  float64 keeps scores equal to the seed path; float32 trades a documented
+  tolerance for ~2x+ kernel throughput.
+- ``arena`` — per-session contiguous row arenas with a zero left-pad
+  prefix, so the "last window" of any session (padded or not) is a single
+  contiguous view: no per-score ``np.stack``, no padding allocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+_DTYPES = ("float64", "float32")
+_INCREMENTAL_MODES = ("cached", "replay")
+
+
+@dataclass
+class HotpathSettings:
+    """Knobs of the ``repro.hotpath`` subsystem (see module docstring)."""
+
+    # Per-session carried-state LSTM scoring (LSTM detector only; the flag
+    # is ignored with a log line under the autoencoder).
+    incremental: bool = False
+    # "cached": O(1) carried-state scoring (the fast path).
+    # "replay": recompute every window score from the session prefix with
+    # the seed batch forward — the reference the cached path must equal
+    # exactly in float64 mode. Exists for verification and tests.
+    incremental_mode: str = "cached"
+    # Re-verify every cached incremental score against the batch replay at
+    # runtime (exact in float64, within the float32 tolerances below).
+    # Costly — a debugging/validation mode, not a production default.
+    self_check: bool = False
+
+    # Fused contiguous-weight inference kernels for detector.scores().
+    compiled: bool = False
+    # Kernel precision when compiled: "float64" keeps scores equal to the
+    # seed path; "float32" is the throughput mode.
+    dtype: str = "float32"
+
+    # Per-session ring/arena window assembly in MobiWatch.
+    arena: bool = False
+
+    # Documented float32 score tolerance (relative/absolute), used by the
+    # runtime self-check and the equality test suite.
+    float32_rtol: float = 1e-4
+    float32_atol: float = 1e-7
+
+    def __post_init__(self) -> None:
+        if self.dtype not in _DTYPES:
+            raise ValueError(f"dtype must be one of {_DTYPES}, got {self.dtype!r}")
+        if self.incremental_mode not in _INCREMENTAL_MODES:
+            raise ValueError(
+                f"incremental_mode must be one of {_INCREMENTAL_MODES}, "
+                f"got {self.incremental_mode!r}"
+            )
+
+    @property
+    def arena_enabled(self) -> bool:
+        """Incremental scoring needs the session row history for replay."""
+        return self.arena or self.incremental
+
+    @property
+    def incremental_dtype(self) -> str:
+        """Incremental step precision: float32 only when compiled kernels
+        are on in float32 mode; exact float64 otherwise."""
+        if self.compiled and self.dtype == "float32":
+            return "float32"
+        return "float64"
+
+    @property
+    def any_enabled(self) -> bool:
+        return self.incremental or self.compiled or self.arena

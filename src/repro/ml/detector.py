@@ -37,10 +37,32 @@ class AnomalyDetector(abc.ABC):
         self.threshold = PercentileThreshold(percentile=percentile)
         self.training_scores: Optional[np.ndarray] = None
         self.metrics: Optional[MetricsRegistry] = None
+        # Fused inference kernels over a weight snapshot; scores() routes
+        # through them once compile() has run (repro.hotpath.compiled).
+        self._compiled = None
 
     def attach_metrics(self, metrics: MetricsRegistry) -> None:
         """Route training/inference error distributions into a registry."""
         self.metrics = metrics
+
+    def compile(self, dtype: str = "float32"):
+        """Snapshot the current weights into fused inference kernels.
+
+        Afterwards :meth:`scores` runs through preallocated-buffer kernels
+        in ``dtype`` — float64 kernels score bit-identically to the plain
+        path; float32 trades the documented hotpath tolerance for
+        throughput. Any further :meth:`fit` drops the snapshot (stale
+        weights); call ``compile`` again after retraining.
+        """
+        from repro.hotpath.compiled import compile_detector
+
+        self._compiled = compile_detector(self, dtype)
+        return self._compiled
+
+    @property
+    def compiled(self):
+        """The active compiled kernels, or ``None``."""
+        return self._compiled
 
     def _check(self, windows: np.ndarray) -> np.ndarray:
         windows = np.asarray(windows, dtype=np.float64)
@@ -56,6 +78,7 @@ class AnomalyDetector(abc.ABC):
         """Train on benign windows and fit the percentile threshold."""
         windows = self._check(benign_windows)
         report = self._fit_model(windows, **train_kwargs)
+        self._compiled = None  # weights changed: any kernel snapshot is stale
         self.training_scores = self.scores(windows)
         self.threshold.fit(self.training_scores)
         if self.metrics is not None:
@@ -78,12 +101,27 @@ class AnomalyDetector(abc.ABC):
         """Boolean anomaly decision per window."""
         return self.threshold.classify(self.scores(windows))
 
+    def scores(self, windows: np.ndarray) -> np.ndarray:
+        """Anomaly score per window (higher = more anomalous)."""
+        if self._compiled is not None:
+            # The kernels convert into their own dtype buffers; skip the
+            # reference path's float64 up-conversion (pure allocation here).
+            windows = np.asarray(windows)
+            expected = self.window * self.feature_dim
+            if windows.ndim != 2 or windows.shape[1] != expected:
+                raise ValueError(
+                    f"expected [n, {expected}] windows "
+                    f"(window={self.window} x dim={self.feature_dim}), got {windows.shape}"
+                )
+            return self._compiled.scores(windows)
+        return self._scores(self._check(windows))
+
     @abc.abstractmethod
     def _fit_model(self, windows: np.ndarray, **train_kwargs) -> TrainReport: ...
 
     @abc.abstractmethod
-    def scores(self, windows: np.ndarray) -> np.ndarray:
-        """Anomaly score per window (higher = more anomalous)."""
+    def _scores(self, windows: np.ndarray) -> np.ndarray:
+        """Reference scoring path on checked ``[n, window*dim]`` windows."""
 
 
 class AutoencoderDetector(AnomalyDetector):
@@ -121,8 +159,7 @@ class AutoencoderDetector(AnomalyDetector):
     def _fit_model(self, windows: np.ndarray, **train_kwargs) -> TrainReport:
         return self.model.fit(windows, **train_kwargs)
 
-    def scores(self, windows: np.ndarray) -> np.ndarray:
-        windows = self._check(windows)
+    def _scores(self, windows: np.ndarray) -> np.ndarray:
         if self.aggregate == "mean":
             return self.model.reconstruction_errors(windows)
         return self.per_slot_errors(windows).max(axis=1)
@@ -172,9 +209,9 @@ class LstmDetector(AnomalyDetector):
         sequences, targets = self._split(windows)
         return self.model.fit(sequences, targets, **train_kwargs)
 
-    def scores(self, windows: np.ndarray) -> np.ndarray:
+    def _scores(self, windows: np.ndarray) -> np.ndarray:
         """Window score: worst next-step prediction error within the window."""
-        sequences, targets = self._split(self._check(windows))
+        sequences, targets = self._split(windows)
         return self.model.per_step_errors(sequences, targets).max(axis=1)
 
     # -- session-context scoring -------------------------------------------------
@@ -234,6 +271,7 @@ class LstmDetector(AnomalyDetector):
         """Train on the dataset's windows, then fit the threshold on
         session-context scores (keeps train/serve scoring identical)."""
         report = self._fit_model(self._check(windowed.windows), **train_kwargs)
+        self._compiled = None  # weights changed: any kernel snapshot is stale
         self.training_scores = self.session_window_scores(windowed)
         self.threshold.fit(self.training_scores)
         return report

@@ -36,6 +36,9 @@ class Layer(abc.ABC):
     def params(self) -> list[Parameter]:
         return []
 
+    def reset(self) -> None:
+        """Drop cached forward state kept for backward (inference cleanup)."""
+
     def __call__(self, x: np.ndarray) -> np.ndarray:
         return self.forward(x)
 
@@ -68,6 +71,9 @@ class Dense(Layer):
     def params(self) -> list[Parameter]:
         return [self.W, self.b]
 
+    def reset(self) -> None:
+        self._x = None
+
 
 class ReLU(Layer):
     def __init__(self) -> None:
@@ -81,6 +87,9 @@ class ReLU(Layer):
         if self._mask is None:
             raise RuntimeError("backward called before forward")
         return grad_out * self._mask
+
+    def reset(self) -> None:
+        self._mask = None
 
 
 class Sigmoid(Layer):
@@ -96,6 +105,9 @@ class Sigmoid(Layer):
             raise RuntimeError("backward called before forward")
         return grad_out * self._y * (1.0 - self._y)
 
+    def reset(self) -> None:
+        self._y = None
+
 
 class Tanh(Layer):
     def __init__(self) -> None:
@@ -109,6 +121,9 @@ class Tanh(Layer):
         if self._y is None:
             raise RuntimeError("backward called before forward")
         return grad_out * (1.0 - self._y**2)
+
+    def reset(self) -> None:
+        self._y = None
 
 
 class Sequential(Layer):
@@ -132,3 +147,7 @@ class Sequential(Layer):
         for layer in self.layers:
             out.extend(layer.params())
         return out
+
+    def reset(self) -> None:
+        for layer in self.layers:
+            layer.reset()

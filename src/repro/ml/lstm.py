@@ -66,6 +66,11 @@ class LstmPredictor:
     def params(self) -> list[Parameter]:
         return [self.Wx, self.Wh, self.b] + self.head.params()
 
+    def reset(self) -> None:
+        """Drop BPTT state from the last forward pass (inference cleanup)."""
+        self._caches = []
+        self.head.reset()
+
     # -- forward -----------------------------------------------------------------
 
     def forward(self, x: np.ndarray) -> np.ndarray:
@@ -188,7 +193,7 @@ class LstmPredictor:
         if len(sequences) == 0:
             return np.zeros(0)
         pred = self.forward(sequences)
-        self._caches = []  # inference only: drop BPTT state
+        self.reset()  # inference only: drop BPTT state
         return per_sample_mse(pred, targets)
 
     def per_step_errors(self, sequences: np.ndarray, targets: np.ndarray) -> np.ndarray:
@@ -202,5 +207,5 @@ class LstmPredictor:
         if len(sequences) == 0:
             return np.zeros((0, 0))
         pred = self.forward(sequences)
-        self._caches = []
+        self.reset()
         return np.mean((pred - targets) ** 2, axis=2)

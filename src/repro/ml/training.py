@@ -49,11 +49,15 @@ class TrainHistory:
         return self.epoch_losses[-1] if self.epoch_losses else float("nan")
 
 
-# The trainable: forward(batch_x) -> prediction; backward(grad); params().
+# The trainable: forward(batch_x) -> prediction; backward(grad); params();
+# optional reset() drops forward state kept only for the backward pass (the
+# loop calls it, when present, after inference-only forwards such as the
+# validation pass).
 class TrainableProtocol:  # pragma: no cover - documentation only
     def forward(self, x: np.ndarray) -> np.ndarray: ...
     def backward(self, grad: np.ndarray) -> None: ...
     def params(self) -> list: ...
+    def reset(self) -> None: ...
 
 
 def train_minibatch(
@@ -127,9 +131,10 @@ def train_minibatch(
             val_loss, _ = mse_loss(trainable.forward(val_x), val_y)
             if val_loss_hist is not None:
                 val_loss_hist.observe(val_loss)
-            # Inference pass must not leave stale BPTT caches behind.
-            if hasattr(trainable, "_caches"):
-                trainable._caches = []
+            # Inference pass must not leave stale backward state behind.
+            reset = getattr(trainable, "reset", None)
+            if reset is not None:
+                reset()
             history.validation_losses.append(val_loss)
             if val_loss < best_val * (1.0 - config.min_improvement):
                 best_val = val_loss
@@ -159,6 +164,9 @@ class _AutoencoderAdapter:
 
     def params(self) -> list:
         return self._model.params()
+
+    def reset(self) -> None:
+        self._model.reset()
 
 
 def train_autoencoder(autoencoder, windows: np.ndarray, config: TrainConfig) -> TrainHistory:

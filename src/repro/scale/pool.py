@@ -58,6 +58,9 @@ class InferencePool:
         self._busy_until = {name: 0.0 for name in self._worker_names}
         # (worker, session_id, vector, callback) in submission order.
         self._pending: list[tuple[str, Any, np.ndarray, ScoreCallback]] = []
+        # Reusable flush batch buffer, grown on demand (repro.hotpath: one
+        # np.stack allocation per flush otherwise).
+        self._batch_buf: Optional[np.ndarray] = None
         self.windows_scored = 0
         self.batches = 0
         metrics = metrics or MetricsRegistry()
@@ -113,7 +116,7 @@ class InferencePool:
             indices = groups.get(worker)
             if not indices:
                 continue
-            matrix = np.stack([pending[i][2] for i in indices])
+            matrix = self._gather(pending, indices)
             with WallTimer(self._wall_hist):
                 scores = self._score_fn(matrix)
             completed = now
@@ -129,6 +132,19 @@ class InferencePool:
             for row, i in enumerate(indices):
                 pending[i][3](float(scores[row]), completed)
         return len(pending)
+
+    def _gather(self, pending: list, indices: List[int]) -> np.ndarray:
+        """Copy the group's vectors into the reusable batch buffer."""
+        dim = pending[indices[0]][2].shape[0]
+        buf = self._batch_buf
+        if buf is None or buf.shape[0] < len(indices) or buf.shape[1] != dim:
+            capacity = max(len(indices), self.batch_windows)
+            dtype = pending[indices[0]][2].dtype
+            buf = self._batch_buf = np.empty((capacity, dim), dtype=dtype)
+        matrix = buf[: len(indices)]
+        for row, i in enumerate(indices):
+            matrix[row] = pending[i][2]
+        return matrix
 
     def stats(self) -> dict:
         return {

@@ -11,7 +11,7 @@ transmission. Categories:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields as dataclass_fields
+from dataclasses import dataclass, fields as dataclass_fields
 from typing import Any, Iterator, Optional
 
 
@@ -33,14 +33,23 @@ class MobiFlowRecord:
     establishment_cause: Optional[str] = None
 
     def to_dict(self) -> dict[str, Any]:
-        return {f.name: getattr(self, f.name) for f in dataclass_fields(self)}
+        return {name: getattr(self, name) for name in _FIELD_NAMES}
+
+    def to_wire_dict(self) -> dict[str, Any]:
+        """Non-null fields only — the compact E2 (key, value) payload."""
+        out = {}
+        for name in _FIELD_NAMES:
+            value = getattr(self, name)
+            if value is not None:
+                out[name] = value
+        return out
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "MobiFlowRecord":
-        known = {f.name for f in dataclass_fields(cls)}
-        unknown = set(data) - known
-        if unknown:
-            raise ValueError(f"unknown MobiFlow fields: {sorted(unknown)}")
+        if not _FIELD_NAME_SET.issuperset(data):
+            raise ValueError(
+                f"unknown MobiFlow fields: {sorted(set(data) - _FIELD_NAME_SET)}"
+            )
         return cls(**data)
 
     def exposes_permanent_identity(self) -> bool:
@@ -48,6 +57,12 @@ class MobiFlowRecord:
         if self.supi:
             return True
         return bool(self.suci and self.suci.startswith("suci-null-"))
+
+
+# Schema snapshot, computed once: the per-record encode path runs for every
+# telemetry entry and must not pay dataclass reflection each call.
+_FIELD_NAMES: tuple[str, ...] = tuple(f.name for f in dataclass_fields(MobiFlowRecord))
+_FIELD_NAME_SET: frozenset[str] = frozenset(_FIELD_NAMES)
 
 
 class TelemetrySeries:

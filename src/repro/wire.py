@@ -96,6 +96,121 @@ def encode(value: Any) -> bytes:
     raise WireError(f"unsupported wire type: {type(value).__name__}")
 
 
+# -- fast path ---------------------------------------------------------------
+#
+# encode_fast() produces bytes identical to encode() (a property test holds
+# them equal) but builds the message in growing bytearrays instead of one
+# bytes object per value, and interns the encodings of small strings — the
+# telemetry schema repeats the same dozen field names in every record of
+# every E2 indication.
+
+_FLOAT_STRUCT = struct.Struct(">d")
+_TAG_FLOAT_BYTE = bytes([_TAG_FLOAT])
+_LEN1 = tuple(bytes([i]) for i in range(0x80))  # varint of any length < 128
+
+_STR_CACHE: dict[str, bytes] = {}
+_STR_CACHE_MAX_ENTRIES = 4096
+_STR_CACHE_MAX_LEN = 64
+
+_INT_CACHE: dict[int, bytes] = {}
+_INT_CACHE_RANGE = (-1, 1024)
+
+
+def _encode_str_fast(value: str) -> bytes:
+    encoded = _STR_CACHE.get(value)
+    if encoded is None:
+        payload = value.encode("utf-8")
+        encoded = bytes([_TAG_STR]) + _encode_length(len(payload)) + payload
+        if len(value) <= _STR_CACHE_MAX_LEN and len(_STR_CACHE) < _STR_CACHE_MAX_ENTRIES:
+            _STR_CACHE[value] = encoded
+    return encoded
+
+
+def _encode_int_fast(value: int) -> bytes:
+    encoded = _INT_CACHE.get(value)
+    if encoded is None:
+        payload = value.to_bytes((value.bit_length() + 8) // 8 or 1, "big", signed=True)
+        encoded = bytes([_TAG_INT]) + _encode_length(len(payload)) + payload
+        if _INT_CACHE_RANGE[0] <= value <= _INT_CACHE_RANGE[1]:
+            _INT_CACHE[value] = encoded
+    return encoded
+
+
+def _encode_into(out: bytearray, value: Any) -> None:
+    if value is None:
+        out.append(_TAG_NONE)
+        return
+    if value is False:
+        out.append(_TAG_FALSE)
+        return
+    if value is True:
+        out.append(_TAG_TRUE)
+        return
+    kind = type(value)
+    if kind is int:
+        out += _encode_int_fast(value)
+        return
+    if kind is float:
+        out += _TAG_FLOAT_BYTE
+        out += _FLOAT_STRUCT.pack(value)
+        return
+    if kind is str:
+        out += _encode_str_fast(value)
+        return
+    if kind is dict:
+        body = bytearray()
+        for key, item in value.items():
+            if type(key) is not str:
+                raise WireError(f"dict keys must be str, got {type(key).__name__}")
+            body += _encode_str_fast(key)
+            _encode_into(body, item)
+        out.append(_TAG_DICT)
+        n = len(body)
+        out += _LEN1[n] if n < 0x80 else _encode_length(n)
+        out += body
+        return
+    if kind in (list, tuple):
+        body = bytearray()
+        for item in value:
+            _encode_into(body, item)
+        out.append(_TAG_LIST)
+        n = len(body)
+        out += _LEN1[n] if n < 0x80 else _encode_length(n)
+        out += body
+        return
+    # Subclasses (IntEnum, str subclasses, bytes...) fall back to the
+    # reference encoder so the accepted-type surface stays identical.
+    out += encode(value)
+
+
+def encode_fast(value: Any) -> bytes:
+    """Encode ``value`` into TLV bytes — byte-identical to :func:`encode`,
+    built single-pass with interned small-string/int encodings."""
+    out = bytearray()
+    _encode_into(out, value)
+    return bytes(out)
+
+
+_DECODE_KEY_CACHE: dict[bytes, str] = {}
+_DECODE_KEY_CACHE_MAX = 4096
+
+
+def _decode_key_at(data: bytes, offset: int) -> tuple[Any, int]:
+    """Decode a dict-key value, interning repeated short string keys."""
+    if data[offset] == _TAG_STR:
+        length, payload_start = _decode_length(data, offset + 1)
+        end = payload_start + length
+        if length <= _STR_CACHE_MAX_LEN and end <= len(data):
+            raw = data[payload_start:end]
+            key = _DECODE_KEY_CACHE.get(raw)
+            if key is None:
+                key = raw.decode("utf-8")
+                if len(_DECODE_KEY_CACHE) < _DECODE_KEY_CACHE_MAX:
+                    _DECODE_KEY_CACHE[raw] = key
+            return key, end
+    return _decode_at(data, offset)
+
+
 def _decode_at(data: bytes, offset: int) -> tuple[Any, int]:
     if offset >= len(data):
         raise WireError("truncated value (no tag)")
@@ -134,7 +249,7 @@ def _decode_at(data: bytes, offset: int) -> tuple[Any, int]:
         result: dict[str, Any] = {}
         inner = 0
         while inner < len(payload):
-            key, inner = _decode_at(payload, inner)
+            key, inner = _decode_key_at(payload, inner)
             if not isinstance(key, str):
                 raise WireError("dict key is not a string")
             if inner >= len(payload):

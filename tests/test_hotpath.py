@@ -1,0 +1,679 @@
+"""repro.hotpath: equality contracts, wiring, and the perf gates' logic.
+
+The hot path trades work for speed only where the result is provably the
+same, so almost every test here is an equality test:
+
+- defaults keep the seed scoring path (no arena, no incremental scorer,
+  no compiled kernels);
+- compiled float64 kernels score bit-identically to the plain detectors;
+- the cached incremental scorer equals its batch replay bitwise in
+  float64 (and within the documented tolerance in float32);
+- the fast wire codec is byte-identical to the reference encoder;
+- live pipeline runs under every hotpath flag produce the same anomaly
+  events as their reference counterpart — checked per attack scenario.
+"""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro import wire
+from repro.attacks import (
+    BlindDosAttack,
+    BtsDosAttack,
+    DownlinkIdExtractionAttack,
+    NullCipherAttack,
+    UplinkIdExtractionAttack,
+)
+from repro.core import SixGXSec, XsecConfig
+from repro.core.framework import build_detector
+from repro.experiments.datasets import BenignDatasetConfig, generate_benign_dataset
+from repro.hotpath import (
+    HotpathSettings,
+    IncrementalLstmScorer,
+    ScoreMismatch,
+    SessionWindowArena,
+)
+from repro.hotpath.bench import HotpathBenchResult, violations
+from repro.ml.detector import AutoencoderDetector, LstmDetector
+from repro.ran.core_network import AmfConfig
+from repro.ran.network import NetworkConfig
+from repro.telemetry import encoder
+from repro.telemetry.mobiflow import MobiFlowRecord
+
+
+# ---------------------------------------------------------------------------
+# settings
+
+
+class TestHotpathSettings:
+    def test_defaults_all_off(self):
+        settings = HotpathSettings()
+        assert not settings.any_enabled
+        assert not settings.arena_enabled
+        assert settings.incremental_dtype == "float64"
+
+    def test_incremental_implies_arena(self):
+        assert HotpathSettings(incremental=True).arena_enabled
+        assert HotpathSettings(arena=True).arena_enabled
+
+    def test_incremental_dtype_follows_compiled_float32(self):
+        assert HotpathSettings(compiled=True, dtype="float32").incremental_dtype == "float32"
+        assert HotpathSettings(compiled=True, dtype="float64").incremental_dtype == "float64"
+        assert HotpathSettings(dtype="float32").incremental_dtype == "float64"
+
+    def test_bad_dtype_rejected(self):
+        with pytest.raises(ValueError):
+            HotpathSettings(dtype="float16")
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            HotpathSettings(incremental_mode="speculative")
+
+
+# ---------------------------------------------------------------------------
+# arena
+
+
+class TestSessionWindowArena:
+    def test_short_session_left_padded_like_seed(self):
+        arena = SessionWindowArena(dim=3, window=4)
+        rows = np.arange(6, dtype=np.float32).reshape(2, 3) + 1.0
+        for row in rows:
+            arena.append(7, row)
+        got = arena.window_rows(7)
+        padded = np.zeros((4, 3), dtype=np.float32)
+        padded[2:] = rows
+        assert got.shape == (4, 3)
+        assert np.array_equal(got, padded)
+
+    def test_full_window_is_last_rows(self):
+        arena = SessionWindowArena(dim=2, window=3)
+        rows = np.random.default_rng(0).random((9, 2)).astype(np.float32)
+        for row in rows:
+            arena.append(1, row)
+        assert np.array_equal(arena.window_rows(1), rows[-3:])
+        assert np.array_equal(arena.session_rows(1), rows)
+        assert arena.session_length(1) == 9
+
+    def test_growth_keeps_old_views_valid(self):
+        arena = SessionWindowArena(dim=2, window=3, initial_rows=3)
+        rows = np.random.default_rng(1).random((20, 2)).astype(np.float32)
+        arena.append(5, rows[0])
+        early = arena.window_rows(5).copy()
+        early_view = arena.window_rows(5)
+        for row in rows[1:]:
+            arena.append(5, row)  # forces at least one reallocation
+        # The retired buffer backing the old view was never mutated.
+        assert np.array_equal(early_view, early)
+        assert np.array_equal(arena.window_rows(5), rows[-3:])
+
+    def test_append_never_mutates_prior_window_views(self):
+        arena = SessionWindowArena(dim=2, window=3, initial_rows=16)
+        rows = np.random.default_rng(2).random((8, 2)).astype(np.float32)
+        views = []
+        snapshots = []
+        for row in rows:
+            arena.append(9, row)
+            views.append(arena.window_rows(9))
+            snapshots.append(arena.window_rows(9).copy())
+        for view, snapshot in zip(views, snapshots):
+            assert np.array_equal(view, snapshot)
+
+    def test_sessions_independent(self):
+        arena = SessionWindowArena(dim=2, window=2)
+        arena.append(1, np.ones(2, dtype=np.float32))
+        arena.append(2, np.full(2, 3.0, dtype=np.float32))
+        assert 1 in arena and 2 in arena and 3 not in arena
+        assert sorted(arena.session_ids()) == [1, 2]
+        sessions, allocated = arena.stats()
+        assert sessions == 2 and allocated > 0
+
+    def test_unknown_session_raises(self):
+        arena = SessionWindowArena(dim=2, window=2)
+        with pytest.raises(KeyError):
+            arena.window_rows(42)
+        with pytest.raises(KeyError):
+            arena.session_rows(42)
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            SessionWindowArena(dim=0, window=2)
+        with pytest.raises(ValueError):
+            SessionWindowArena(dim=2, window=0)
+
+
+# ---------------------------------------------------------------------------
+# compiled kernels
+
+
+def _windows(n, window, dim, seed=0, dtype=np.float64):
+    return np.random.default_rng(seed).random((n, window * dim)).astype(dtype)
+
+
+class TestCompiledKernels:
+    @pytest.mark.parametrize("aggregate", ["max", "mean"])
+    def test_autoencoder_float64_bit_identical(self, aggregate):
+        detector = AutoencoderDetector(
+            window=4, feature_dim=9, hidden_dim=12, latent_dim=5, seed=3, aggregate=aggregate
+        )
+        windows = _windows(17, 4, 9, seed=11)
+        reference = detector.scores(windows)
+        detector.compile("float64")
+        assert detector.compiled is not None
+        fast = detector.scores(windows)
+        assert fast.dtype == np.float64
+        assert np.array_equal(reference, fast)
+
+    def test_lstm_float64_bit_identical(self):
+        detector = LstmDetector(window=5, feature_dim=7, hidden_dim=10, seed=4)
+        windows = _windows(13, 5, 7, seed=12)
+        reference = detector.scores(windows)
+        detector.compile("float64")
+        fast = detector.scores(windows)
+        assert np.array_equal(reference, fast)
+
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: AutoencoderDetector(window=4, feature_dim=9, hidden_dim=12, latent_dim=5, seed=3),
+            lambda: LstmDetector(window=5, feature_dim=7, hidden_dim=10, seed=4),
+        ],
+        ids=["autoencoder", "lstm"],
+    )
+    def test_float32_within_documented_tolerance(self, make):
+        detector = make()
+        windows = _windows(16, detector.window, detector.feature_dim, seed=13)
+        reference = detector.scores(windows)
+        detector.compile("float32")
+        fast = detector.scores(windows)
+        assert fast.dtype == np.float64  # scores stay float64 outward
+        settings = HotpathSettings()
+        assert np.allclose(reference, fast, rtol=settings.float32_rtol, atol=1e-6)
+
+    def test_float32_accepts_float32_input_without_copy_semantics_change(self):
+        detector = AutoencoderDetector(window=3, feature_dim=5, hidden_dim=8, latent_dim=4, seed=5)
+        windows64 = _windows(9, 3, 5, seed=14)
+        detector.compile("float32")
+        from_f64 = detector.scores(windows64)
+        from_f32 = detector.scores(windows64.astype(np.float32))
+        assert np.array_equal(from_f64, from_f32)
+
+    def test_fit_invalidates_snapshot(self):
+        detector = AutoencoderDetector(window=2, feature_dim=3, hidden_dim=4, latent_dim=2, seed=6)
+        detector.compile("float64")
+        assert detector.compiled is not None
+        detector.fit(_windows(24, 2, 3, seed=15), epochs=1)
+        assert detector.compiled is None
+
+    def test_compiled_path_still_validates_shape(self):
+        detector = LstmDetector(window=3, feature_dim=4, hidden_dim=6, seed=7)
+        detector.compile("float64")
+        with pytest.raises(ValueError):
+            detector.scores(np.zeros((2, 5)))
+
+
+# ---------------------------------------------------------------------------
+# incremental scorer
+
+
+def _lstm_detector(seed=8):
+    return LstmDetector(window=4, feature_dim=5, hidden_dim=6, seed=seed)
+
+
+def _session_rows(n=12, dim=5, seed=21):
+    return np.random.default_rng(seed).random((n, dim)).astype(np.float32)
+
+
+class TestIncrementalLstmScorer:
+    def test_requires_lstm_detector(self):
+        ae = AutoencoderDetector(window=3, feature_dim=5, hidden_dim=6, latent_dim=3)
+        with pytest.raises(TypeError):
+            IncrementalLstmScorer(ae)
+
+    def test_cached_errors_bitwise_equal_replay(self):
+        scorer = IncrementalLstmScorer(_lstm_detector())
+        rows = _session_rows()
+        pushed = [scorer.push(1, row) for row in rows]
+        replayed = scorer.replay_errors(rows)
+        assert np.array_equal(np.asarray(pushed), replayed)
+        assert np.array_equal(scorer.record_errors(1), replayed)
+
+    def test_window_scores_bitwise_equal_replay_at_every_length(self):
+        scorer = IncrementalLstmScorer(_lstm_detector())
+        rows = _session_rows(n=10)
+        for k, row in enumerate(rows, start=1):
+            scorer.push(3, row)
+            assert scorer.window_score(3) == scorer.replay_window_score(rows[:k])
+
+    def test_first_record_error_is_zero(self):
+        scorer = IncrementalLstmScorer(_lstm_detector())
+        assert scorer.push(1, _session_rows(n=1)[0]) == 0.0
+        assert scorer.window_score(1) == 0.0
+
+    def test_warm_up_equals_record_by_record_ingest(self):
+        rows = _session_rows(n=9, seed=22)
+        one = IncrementalLstmScorer(_lstm_detector())
+        for row in rows:
+            one.push(1, row)
+        two = IncrementalLstmScorer(_lstm_detector())
+        two.warm_up(1, rows)
+        assert np.array_equal(one.record_errors(1), two.record_errors(1))
+        assert one.window_score(1) == two.window_score(1)
+
+    def test_sessions_do_not_share_state(self):
+        scorer = IncrementalLstmScorer(_lstm_detector())
+        rows_a = _session_rows(n=8, seed=23)
+        rows_b = _session_rows(n=8, seed=24)
+        for ra, rb in zip(rows_a, rows_b):
+            scorer.push(1, ra)
+            scorer.push(2, rb)
+        assert np.array_equal(scorer.record_errors(1), scorer.replay_errors(rows_a))
+        assert np.array_equal(scorer.record_errors(2), scorer.replay_errors(rows_b))
+
+    def test_replay_mode_is_reference(self):
+        settings = HotpathSettings(incremental=True, incremental_mode="replay")
+        scorer = IncrementalLstmScorer(_lstm_detector(), settings)
+        rows = _session_rows()
+        assert scorer.push(1, rows[0]) == 0.0  # no-op in replay mode
+        with pytest.raises(ValueError):
+            scorer.window_score(1)  # replay needs the rows
+        cached = IncrementalLstmScorer(_lstm_detector())
+        cached.warm_up(1, rows)
+        assert scorer.window_score(1, rows=rows) == cached.window_score(1)
+
+    def test_self_check_passes_and_counts(self):
+        settings = HotpathSettings(incremental=True, self_check=True)
+        scorer = IncrementalLstmScorer(_lstm_detector(), settings)
+        rows = _session_rows(n=7, seed=25)
+        scorer.warm_up(1, rows)
+        score = scorer.window_score(1, rows=rows)
+        assert score == scorer.replay_window_score(rows)
+        assert scorer.self_checks_passed == 1
+
+    def test_self_check_detects_corrupt_state(self):
+        settings = HotpathSettings(incremental=True, self_check=True)
+        scorer = IncrementalLstmScorer(_lstm_detector(), settings)
+        rows = _session_rows(n=7, seed=26)
+        scorer.warm_up(1, rows)
+        state = scorer._sessions[1]
+        state.errors[-1] = max(state.errors) * 2.0 + 1.0
+        with pytest.raises(ScoreMismatch):
+            scorer.window_score(1, rows=rows)
+
+    def test_float32_mode_within_documented_tolerance(self):
+        settings = HotpathSettings(incremental=True, compiled=True, dtype="float32")
+        assert settings.incremental_dtype == "float32"
+        scorer = IncrementalLstmScorer(_lstm_detector(), settings)
+        reference = IncrementalLstmScorer(_lstm_detector())
+        rows = _session_rows(n=14, seed=27)
+        scorer.warm_up(1, rows)
+        reference.warm_up(1, rows)
+        assert np.allclose(
+            scorer.record_errors(1),
+            reference.record_errors(1),
+            rtol=settings.float32_rtol,
+            atol=1e-6,
+        )
+
+    def test_empty_session_rejected(self):
+        scorer = IncrementalLstmScorer(_lstm_detector())
+        with pytest.raises(KeyError):
+            scorer.window_score(99)
+
+
+# ---------------------------------------------------------------------------
+# wire codec fast path
+
+
+_TRICKY_VALUES = [
+    None,
+    True,
+    False,
+    0,
+    -1,
+    1024,
+    1025,
+    -(2**40),
+    2**63,
+    0.0,
+    -0.0,
+    1.5,
+    float("inf"),
+    float("-inf"),
+    "",
+    "short",
+    "x" * 63,
+    "y" * 64,
+    "z" * 65,  # past the intern-cache length cutoff
+    "ünïcode-κλειδί",
+    [],
+    {},
+    [1, "two", 3.0, None, True],
+    {"a": 1, "b": [2, {"c": "d"}], "e": {"f": None}},
+    [{"msg": "RRCSetupRequest"} for _ in range(5)],
+    ("tu", "ple"),
+]
+
+
+class TestWireFastPath:
+    @pytest.mark.parametrize("value", _TRICKY_VALUES, ids=range(len(_TRICKY_VALUES)))
+    def test_byte_identical_to_reference(self, value):
+        assert wire.encode_fast(value) == wire.encode(value)
+
+    def test_roundtrip(self):
+        value = {"batch": list(_TRICKY_VALUES[:-1])}  # tuples decode as lists
+        decoded = wire.decode(wire.encode_fast(value))
+        assert decoded == {"batch": list(_TRICKY_VALUES[:-1])}
+
+    def test_nan_encodes_identically(self):
+        fast = wire.encode_fast(float("nan"))
+        assert fast == wire.encode(float("nan"))
+        assert np.isnan(wire.decode(fast))
+
+    def test_subclasses_fall_back_to_reference(self):
+        class MyInt(int):
+            pass
+
+        class MyList(list):
+            pass
+
+        for value in (MyInt(7), MyList([1, 2]), {"k": MyInt(3)}):
+            assert wire.encode_fast(value) == wire.encode(value)
+
+    def test_non_string_dict_key_rejected(self):
+        with pytest.raises(wire.WireError):
+            wire.encode_fast({1: "a"})
+        with pytest.raises(wire.WireError):
+            wire.encode({1: "a"})
+
+    def test_decoded_dict_keys_are_interned(self):
+        payload = wire.encode_fast([{"session_id": i, "msg": "RRCSetup"} for i in range(4)])
+        decoded = wire.decode(payload)
+        first_keys = list(decoded[0])
+        for entry in decoded[1:]:
+            for a, b in zip(first_keys, list(entry)):
+                assert a is b
+
+    def test_interning_survives_repeated_use(self):
+        # Same structure encoded twice: identical bytes both times (the
+        # caches must never change the output).
+        value = {"msg": "NASSecurityModeCommand", "ids": list(range(40))}
+        assert wire.encode_fast(value) == wire.encode_fast(value) == wire.encode(value)
+
+
+class TestTelemetryEncoderFastPath:
+    def _records(self):
+        return [
+            MobiFlowRecord(
+                timestamp=1.25 * i,
+                msg="RRCSetupRequest" if i % 2 else "RegistrationRequest",
+                protocol="RRC" if i % 2 else "NAS",
+                direction="UL",
+                session_id=100 + i,
+                rnti=17000 + i,
+                s_tmsi=None if i % 3 else 0xABCD00 + i,
+                suci=None if i % 2 else f"suci-0-001-01-{i:04d}",
+                cipher_alg=None,
+                integrity_alg=None,
+            )
+            for i in range(6)
+        ]
+
+    def test_record_bytes_match_reference_encoder(self):
+        for record in self._records():
+            reference = wire.encode(
+                {k: v for k, v in record.to_dict().items() if v is not None}
+            )
+            assert encoder.encode_record(record) == reference
+            assert encoder.decode_record(encoder.encode_record(record)) == record
+
+    def test_batch_bytes_match_reference_encoder(self):
+        records = self._records()
+        reference = wire.encode(
+            [{k: v for k, v in r.to_dict().items() if v is not None} for r in records]
+        )
+        payload = encoder.encode_batch(records)
+        assert payload == reference
+        assert encoder.decode_batch(payload) == records
+
+
+# ---------------------------------------------------------------------------
+# bench gate logic
+
+
+def _passing_result():
+    return HotpathBenchResult(
+        per_record={"speedup": 6.0},
+        kernels={"lstm": {"speedup": 2.6}, "autoencoder": {"speedup": 2.4}},
+        codec={"speedup": 3.0},
+        equality={"incremental_f64_exact": True},
+        meta={},
+    )
+
+
+class TestBenchGates:
+    def test_passing_result_has_no_violations(self):
+        assert violations(_passing_result()) == []
+
+    def test_equality_breach_flagged(self):
+        result = _passing_result()
+        result.equality["incremental_f64_exact"] = False
+        assert any("equality" in v for v in violations(result))
+
+    def test_floor_breaches_flagged(self):
+        result = _passing_result()
+        result.per_record["speedup"] = 4.9
+        result.kernels["lstm"]["speedup"] = 1.9
+        result.codec["speedup"] = 0.9
+        found = violations(result)
+        assert len(found) == 3
+
+    def test_baseline_regression_flagged(self):
+        result = _passing_result()
+        baseline = _passing_result().to_dict()
+        baseline["per_record"]["speedup"] = 20.0  # committed run was much faster
+        found = violations(result, baseline)
+        assert any("regressed" in v for v in found)
+
+    def test_baseline_within_slack_passes(self):
+        result = _passing_result()
+        baseline = _passing_result().to_dict()
+        assert violations(result, baseline) == []
+
+
+# ---------------------------------------------------------------------------
+# live pipeline wiring
+
+
+@pytest.fixture(scope="module")
+def benign_windows():
+    config = XsecConfig()
+    capture = generate_benign_dataset(
+        BenignDatasetConfig(duration_s=90.0, ue_mix=(("pixel5", 1), ("oai_ue", 1)))
+    )
+    return capture.labeled(config.spec, config.window, "benign").windowed.windows
+
+
+def _train(detector_name, benign_windows):
+    config = XsecConfig(detector=detector_name, train_epochs=6)
+    detector = build_detector(config)
+    detector.fit(np.asarray(benign_windows), epochs=6, lr=config.train_lr)
+    return detector
+
+
+@pytest.fixture(scope="module")
+def trained_lstm(benign_windows):
+    return _train("lstm", benign_windows)
+
+
+@pytest.fixture(scope="module")
+def trained_autoencoder(benign_windows):
+    return _train("autoencoder", benign_windows)
+
+
+def _uplink_extraction(net):
+    victim = net.add_ue("pixel6", name="victim")
+    net.sim.schedule(2.5, victim.start_session)
+    return UplinkIdExtractionAttack(net, victim=victim, start_time=2.0, duration_s=10.0)
+
+
+def _downlink_extraction(net):
+    victim = net.add_ue("pixel6", name="victim")
+    net.sim.schedule(2.5, victim.start_session)
+    return DownlinkIdExtractionAttack(net, victim=victim, start_time=2.0, duration_s=10.0)
+
+
+# name -> (attack factory taking the live network, extra NetworkConfig kwargs)
+ATTACK_SCENARIOS = {
+    "bts_dos": (
+        lambda net: BtsDosAttack(net, start_time=3.0, connections=8, interval_s=0.08),
+        {},
+    ),
+    "blind_dos": (
+        lambda net: BlindDosAttack(net, victim=net.ues[0], start_time=3.0, replays=5),
+        {},
+    ),
+    "uplink_id_extraction": (_uplink_extraction, {}),
+    "downlink_id_extraction": (_downlink_extraction, {}),
+    "null_cipher": (
+        lambda net: NullCipherAttack(net, start_time=3.0),
+        {"amf": AmfConfig(allow_null_algorithms=True)},
+    ),
+}
+
+
+def run_live(detector, hotpath, attack=None, seed=77, until=20.0, net_kwargs=None):
+    """One live pipeline run with a pre-trained detector copy deployed."""
+    config = XsecConfig(detector=detector.name, train_epochs=6, hotpath=hotpath)
+    xsec = SixGXSec(config, network_config=NetworkConfig(seed=seed, **(net_kwargs or {})))
+    xsec.deploy_detector(copy.deepcopy(detector))
+    for profile in ("pixel5", "oai_ue"):
+        ue = xsec.net.add_ue(profile)
+        xsec.net.sim.schedule(0.5, ue.start_session)
+    if attack is not None:
+        attack(xsec.net).arm()
+    xsec.run(until=until)
+    return xsec
+
+
+def event_tuples(xsec):
+    return [
+        (
+            e.detected_at,
+            e.session_id,
+            e.rnti,
+            e.s_tmsi,
+            e.score,
+            e.threshold,
+            e.record_indices,
+            e.newest_record_ts,
+        )
+        for e in xsec.mobiwatch.anomalies
+    ]
+
+
+class TestDefaultsAreSeedPath:
+    def test_default_config_keeps_seed_components(self, trained_autoencoder):
+        xsec = SixGXSec(XsecConfig())
+        assert xsec.mobiwatch._arena is None
+        assert xsec.mobiwatch._incremental is None
+        xsec.deploy_detector(copy.deepcopy(trained_autoencoder))
+        assert xsec.mobiwatch.detector.compiled is None
+        assert xsec.mobiwatch._incremental is None
+
+    def test_incremental_needs_lstm(self, trained_autoencoder):
+        xsec = SixGXSec(XsecConfig(hotpath=HotpathSettings(incremental=True)))
+        assert xsec.mobiwatch._arena is not None
+        xsec.deploy_detector(copy.deepcopy(trained_autoencoder))
+        # Flag ignored (with a log line), never a crash.
+        assert xsec.mobiwatch._incremental is None
+
+
+class TestLiveSeedEquivalence:
+    """Flags whose contract is bit-identity to the seed live path."""
+
+    @pytest.fixture(scope="class")
+    def seed_run(self, trained_autoencoder):
+        return run_live(trained_autoencoder, HotpathSettings())
+
+    def test_arena_and_compiled_f64_bit_identical(self, trained_autoencoder, seed_run):
+        fast = run_live(
+            trained_autoencoder,
+            HotpathSettings(arena=True, compiled=True, dtype="float64"),
+        )
+        assert fast.mobiwatch._arena is not None
+        assert fast.mobiwatch.detector.compiled is not None
+        assert fast.mobiwatch.records_seen == seed_run.mobiwatch.records_seen
+        assert fast.mobiwatch.windows_scored == seed_run.mobiwatch.windows_scored
+        assert event_tuples(fast) == event_tuples(seed_run)
+
+    def test_compiled_f32_no_threshold_flips(self, trained_autoencoder, seed_run):
+        fast = run_live(trained_autoencoder, HotpathSettings(compiled=True, dtype="float32"))
+        ref_events = event_tuples(seed_run)
+        f32_events = event_tuples(fast)
+        # Same flagged windows in the same order (no threshold decision
+        # flipped), scores within the documented float32 tolerance.
+        assert [e[:4] + (e[6], e[7]) for e in f32_events] == [
+            e[:4] + (e[6], e[7]) for e in ref_events
+        ]
+        settings = HotpathSettings()
+        for ref, fast_ev in zip(ref_events, f32_events):
+            assert np.isclose(ref[4], fast_ev[4], rtol=settings.float32_rtol, atol=1e-6)
+
+
+class TestAttackScenarioEquality:
+    """Satellite: identical events across all five attacks, cached vs replay.
+
+    The cached incremental scorer runs with ``self_check`` on, so every
+    single window score is additionally re-verified against the batch
+    replay at runtime — the float64 contract is exact equality.
+    """
+
+    @pytest.mark.parametrize("scenario", sorted(ATTACK_SCENARIOS), ids=sorted(ATTACK_SCENARIOS))
+    def test_cached_equals_replay(self, trained_lstm, scenario):
+        factory, net_kwargs = ATTACK_SCENARIOS[scenario]
+        cached = run_live(
+            trained_lstm,
+            HotpathSettings(incremental=True, incremental_mode="cached", self_check=True),
+            attack=factory,
+            net_kwargs=net_kwargs,
+        )
+        replay = run_live(
+            trained_lstm,
+            HotpathSettings(incremental=True, incremental_mode="replay"),
+            attack=factory,
+            net_kwargs=net_kwargs,
+        )
+        assert cached.mobiwatch.records_seen == replay.mobiwatch.records_seen
+        assert cached.mobiwatch.windows_scored == replay.mobiwatch.windows_scored
+        assert cached.mobiwatch.windows_scored > 0
+        assert event_tuples(cached) == event_tuples(replay)
+        scorer = cached.mobiwatch._incremental
+        assert scorer is not None
+        assert scorer.self_checks_passed == cached.mobiwatch.windows_scored
+
+    def test_float32_cached_no_threshold_flips(self, trained_lstm):
+        """Float32 incremental mode: tolerance only, no decision changes."""
+        factory, net_kwargs = ATTACK_SCENARIOS["bts_dos"]
+        f32 = run_live(
+            trained_lstm,
+            HotpathSettings(incremental=True, compiled=True, dtype="float32"),
+            attack=factory,
+            net_kwargs=net_kwargs,
+        )
+        replay = run_live(
+            trained_lstm,
+            HotpathSettings(incremental=True, incremental_mode="replay"),
+            attack=factory,
+            net_kwargs=net_kwargs,
+        )
+        f32_events = event_tuples(f32)
+        ref_events = event_tuples(replay)
+        assert [e[:4] + (e[6], e[7]) for e in f32_events] == [
+            e[:4] + (e[6], e[7]) for e in ref_events
+        ]
+        settings = HotpathSettings()
+        for ref, fast in zip(ref_events, f32_events):
+            assert np.isclose(ref[4], fast[4], rtol=settings.float32_rtol, atol=1e-6)
