@@ -1,21 +1,24 @@
-"""Bench H1 — the inference hot path (repro.hotpath).
+"""Bench T1 — the training fast path (repro.trainfast).
 
-Measures the three hot-path optimizations against their seed equivalents:
+Measures the three trainfast layers against their seed equivalents:
 
-- per-record LSTM scoring latency: seed full-window re-run vs incremental
-  carried-state scoring (floor: >= 5x);
-- detector kernel throughput: uncompiled ``scores`` vs the compiled
-  float32 kernels, both detectors (floor: >= 2x);
-- wire codec MB/s: reference TLV encoder vs the fast interned-key path.
+- trainer epoch throughput: seed ``Autoencoder.fit`` / ``LstmPredictor.fit``
+  loops vs the compiled float32 kernels (floor: >= 2x, both models);
+- sweep wall-clock: a serial seed window-ablation sweep vs the full fast
+  stack — sweep workers + float32 kernels + content-addressed dataset
+  cache (floor: >= 2.5x where the host can run the workers in parallel);
+- dataset cache: building the same labeled dataset twice with one cache —
+  the second build must be a pure lookup (floor: >= 5x).
 
-Every run re-verifies the equality contracts (float64 bit-identity,
-byte-identical codec) and gates against the committed perf baseline
-``BENCH_hotpath.json`` at the repo root.
+Every run re-verifies the equality contracts (float64 compiled training is
+bit-identical to the seed loops; a parallel float64 sweep returns exactly
+the serial seed rows) and gates against the committed perf baseline
+``BENCH_trainfast.json`` at the repo root.
 
 Runs two ways:
 
 - under pytest-benchmark (full run, artifacts under ``benchmarks/out/``);
-- as a plain script for CI smoke: ``python benchmarks/bench_hotpath.py
+- as a plain script for CI smoke: ``python benchmarks/bench_trainfast.py
   --quick`` (no pytest-benchmark needed), exit 1 on any violated gate.
   ``--update`` rewrites the committed baseline from a full run.
 """
@@ -25,27 +28,27 @@ import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
-BASELINE = REPO_ROOT / "BENCH_hotpath.json"
+BASELINE = REPO_ROOT / "BENCH_trainfast.json"
 
 
 def _run(quick):
-    from repro.hotpath.bench import run_bench
+    from repro.trainfast.bench import run_bench
 
     return run_bench(quick=quick)
 
 
-def test_hotpath(benchmark, artifact_dir):
+def test_trainfast(benchmark, artifact_dir):
     from conftest import save_artifact
 
-    from repro.hotpath.bench import load_baseline, violations
+    from repro.trainfast.bench import load_baseline, violations
 
     result = benchmark.pedantic(lambda: _run(False), rounds=1, iterations=1)
     text = result.report()
-    save_artifact(artifact_dir, "hotpath.txt", text)
+    save_artifact(artifact_dir, "trainfast.txt", text)
     print("\n" + text)
     save_artifact(
         artifact_dir,
-        "hotpath.json",
+        "trainfast.json",
         json.dumps(result.to_dict(), indent=2, sort_keys=True),
     )
     failures = violations(result, load_baseline(BASELINE))
@@ -53,7 +56,7 @@ def test_hotpath(benchmark, artifact_dir):
 
 
 def main(argv):
-    from repro.hotpath.bench import load_baseline, run_bench, save_result, violations
+    from repro.trainfast.bench import load_baseline, save_result, violations
 
     quick = "--quick" in argv
     update = "--update" in argv

@@ -20,6 +20,10 @@ Gives operators the paper's workflow without writing code:
 - ``hotpath-bench`` — measure the inference hot path (incremental LSTM
   scoring, compiled kernels, wire codec), verify the equality contracts,
   and gate against the committed ``BENCH_hotpath.json`` baseline
+  (see docs/PERFORMANCE.md);
+- ``trainfast-bench`` — measure the training fast path (compiled training
+  kernels, parallel sweeps, dataset cache), verify the equality contracts,
+  and gate against the committed ``BENCH_trainfast.json`` baseline
   (see docs/PERFORMANCE.md).
 """
 
@@ -269,6 +273,39 @@ def _cmd_hotpath_bench(args: argparse.Namespace) -> int:
     return 0 if not failures else 3
 
 
+def _cmd_trainfast_bench(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.trainfast.bench import (
+        load_baseline,
+        run_bench,
+        save_result,
+        violations,
+    )
+
+    # The committed baseline lives at the repo root next to src/.
+    default_baseline = Path(__file__).resolve().parents[2] / "BENCH_trainfast.json"
+    baseline_path = Path(args.baseline) if args.baseline else default_baseline
+    result = run_bench(quick=args.quick)
+    print(result.report())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(result.to_dict(), fh, indent=2, sort_keys=True)
+        print(f"trainfast-bench snapshot -> {args.json}")
+    if args.update_baseline:
+        save_result(result, baseline_path)
+        print(f"baseline updated -> {baseline_path}")
+        return 0
+    baseline = load_baseline(baseline_path)
+    if baseline is None:
+        print(f"(no committed baseline at {baseline_path}; gating on floors only)")
+    failures = violations(result, baseline)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 0 if not failures else 3
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="6G-XSec reproduction command line"
@@ -360,6 +397,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="rewrite the baseline from this run instead of gating against it",
     )
     hotpath_bench.set_defaults(func=_cmd_hotpath_bench)
+
+    trainfast_bench = commands.add_parser(
+        "trainfast-bench",
+        help="measure compiled trainer throughput, sweep wall-clock and cache "
+        "hit rate; verify equality contracts; gate vs BENCH_trainfast.json",
+    )
+    trainfast_bench.add_argument(
+        "--quick", action="store_true", help="small CI run (fewer repeats/configs)"
+    )
+    trainfast_bench.add_argument("--json", help="write the machine-readable result here")
+    trainfast_bench.add_argument(
+        "--baseline", help="baseline file (default: BENCH_trainfast.json at repo root)"
+    )
+    trainfast_bench.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from this run instead of gating against it",
+    )
+    trainfast_bench.set_defaults(func=_cmd_trainfast_bench)
     return parser
 
 

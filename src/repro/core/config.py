@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from repro.hotpath.settings import HotpathSettings
 from repro.scale.settings import ScaleSettings
 from repro.telemetry.features import FeatureSpec
+from repro.trainfast.settings import TrainfastSettings
 
 
 @dataclass
@@ -61,3 +62,9 @@ class XsecConfig:
     # scoring, fused compiled kernels, arena window assembly. Defaults
     # preserve the seed scoring path bit-for-bit (see docs/PERFORMANCE.md).
     hotpath: HotpathSettings = field(default_factory=HotpathSettings)
+
+    # Training fast path (repro.trainfast): compiled training kernels,
+    # multi-core experiment sweeps, content-addressed dataset cache.
+    # Defaults preserve the seed training path bit-for-bit (see
+    # docs/PERFORMANCE.md, "Training fast path").
+    trainfast: TrainfastSettings = field(default_factory=TrainfastSettings)

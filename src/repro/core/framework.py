@@ -37,7 +37,7 @@ from repro.ran.network import FiveGNetwork, NetworkConfig
 def build_detector(config: XsecConfig) -> AnomalyDetector:
     """Construct the configured (untrained) detector."""
     if config.detector == "autoencoder":
-        return AutoencoderDetector(
+        detector: AnomalyDetector = AutoencoderDetector(
             window=config.window,
             feature_dim=config.spec.dim,
             hidden_dim=config.ae_hidden_dim,
@@ -45,15 +45,19 @@ def build_detector(config: XsecConfig) -> AnomalyDetector:
             percentile=config.threshold_percentile,
             seed=config.seed,
         )
-    if config.detector == "lstm":
-        return LstmDetector(
+    elif config.detector == "lstm":
+        detector = LstmDetector(
             window=config.window,
             feature_dim=config.spec.dim,
             hidden_dim=config.lstm_hidden_dim,
             percentile=config.threshold_percentile,
             seed=config.seed,
         )
-    raise ValueError(f"unknown detector {config.detector!r}")
+    else:
+        raise ValueError(f"unknown detector {config.detector!r}")
+    if config.trainfast.any_enabled:
+        detector.attach_trainfast(config.trainfast)
+    return detector
 
 
 class SixGXSec:

@@ -80,15 +80,19 @@ def _evaluate(
     label: str,
     mode: str = "session",
     captures=None,
+    cache=None,
+    trainfast=None,
 ) -> AblationRow:
     benign_capture, attack_capture = captures
-    benign = benign_capture.labeled(spec, window, "benign", mode=mode)
-    attack = attack_capture.labeled(spec, window, "attack", mode=mode)
+    benign = benign_capture.labeled(spec, window, "benign", mode=mode, cache=cache)
+    attack = attack_capture.labeled(spec, window, "attack", mode=mode, cache=cache)
     windows = benign.windowed.windows
     split = int(len(windows) * 0.7)
     detector = AutoencoderDetector(
         window=window, feature_dim=spec.dim, percentile=percentile, seed=config.seed
     )
+    if trainfast is not None:
+        detector.attach_trainfast(trainfast)
     detector.fit(windows[:split], epochs=config.epochs, lr=config.lr)
     held = windows[split:]
     benign_fp = float(detector.detect(held).mean()) if len(held) else 0.0
@@ -110,36 +114,78 @@ def _captures(config: AblationConfig):
     )
 
 
+def _sweep_tools(trainfast):
+    """(SweepRunner, DatasetCache or None) for optional TrainfastSettings.
+
+    ``trainfast=None`` gives the seed behaviour: a serial runner, no cache,
+    seed training loops. Lazily imported so the experiments layer has no
+    hard dependency on repro.trainfast.
+    """
+    from repro.trainfast.sweep import sweep_tools
+
+    return sweep_tools(trainfast)
+
+
+def _prewarm(cache, captures, specs) -> None:
+    """Encode per-record matrices in the parent before the sweep forks.
+
+    Forked workers inherit the warm cache copy-on-write, so no worker
+    re-runs the Python-level feature encoder on a capture the parent has
+    already encoded.
+    """
+    if cache is None:
+        return
+    for spec in specs:
+        for capture in captures:
+            cache.record_matrix(capture.series, spec)
+
+
 def run_window_ablation(
     config: Optional[AblationConfig] = None,
     windows: tuple = (4, 6, 8, 10),
+    trainfast=None,
 ) -> AblationResult:
     """A1: sliding-window size sweep."""
     config = config or AblationConfig()
     captures = _captures(config)
     spec = FeatureSpec()
-    rows = [
-        _evaluate(spec, w, config.percentile, config, label=f"N={w}", captures=captures)
-        for w in windows
-    ]
+    runner, cache = _sweep_tools(trainfast)
+    _prewarm(cache, captures, [spec])
+    rows = runner.map(
+        lambda w: _evaluate(
+            spec,
+            w,
+            config.percentile,
+            config,
+            label=f"N={w}",
+            captures=captures,
+            cache=cache,
+            trainfast=trainfast,
+        ),
+        windows,
+    )
     return AblationResult(title="Ablation A1 — window size", rows=rows)
 
 
 def run_threshold_ablation(
     config: Optional[AblationConfig] = None,
     percentiles: tuple = (90.0, 95.0, 97.5, 99.0, 99.9),
+    trainfast=None,
 ) -> AblationResult:
     """A2: threshold percentile sweep (one training, many thresholds)."""
     config = config or AblationConfig()
     captures = _captures(config)
     spec = FeatureSpec()
-    benign = captures[0].labeled(spec, config.window, "benign")
-    attack = captures[1].labeled(spec, config.window, "attack")
+    _, cache = _sweep_tools(trainfast)
+    benign = captures[0].labeled(spec, config.window, "benign", cache=cache)
+    attack = captures[1].labeled(spec, config.window, "attack", cache=cache)
     windows = benign.windowed.windows
     split = int(len(windows) * 0.7)
     detector = AutoencoderDetector(
         window=config.window, feature_dim=spec.dim, seed=config.seed
     )
+    if trainfast is not None:
+        detector.attach_trainfast(trainfast)
     detector.fit(windows[:split], epochs=config.epochs, lr=config.lr)
     held_scores = detector.scores(windows[split:])
     attack_scores = detector.scores(attack.windowed.windows)
@@ -163,10 +209,14 @@ def run_threshold_ablation(
     return AblationResult(title="Ablation A2 — threshold percentile", rows=rows)
 
 
-def run_feature_ablation(config: Optional[AblationConfig] = None) -> AblationResult:
+def run_feature_ablation(
+    config: Optional[AblationConfig] = None,
+    trainfast=None,
+) -> AblationResult:
     """A3: feature-group and encoding-choice sweep."""
     config = config or AblationConfig()
     captures = _captures(config)
+    runner, cache = _sweep_tools(trainfast)
     variants: list[tuple[str, FeatureSpec, str]] = [
         ("full", FeatureSpec(), "session"),
         ("no-identifiers", FeatureSpec(include_identifiers=False), "session"),
@@ -180,16 +230,19 @@ def run_feature_ablation(config: Optional[AblationConfig] = None) -> AblationRes
         ),
         ("global-windows", FeatureSpec(), "global"),
     ]
-    rows = [
-        _evaluate(
-            spec,
+    _prewarm(cache, captures, {spec for _, spec, _ in variants})
+    rows = runner.map(
+        lambda variant: _evaluate(
+            variant[1],
             config.window,
             config.percentile,
             config,
-            label=label,
-            mode=mode,
+            label=variant[0],
+            mode=variant[2],
             captures=captures,
-        )
-        for label, spec, mode in variants
-    ]
+            cache=cache,
+            trainfast=trainfast,
+        ),
+        variants,
+    )
     return AblationResult(title="Ablation A3 — feature sets and encoding", rows=rows)

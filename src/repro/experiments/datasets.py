@@ -78,10 +78,15 @@ class CollectedDataset:
     stats: ScenarioStats
 
     def labeled(
-        self, spec: FeatureSpec, window: int, name: str, mode: str = "session"
+        self,
+        spec: FeatureSpec,
+        window: int,
+        name: str,
+        mode: str = "session",
+        cache=None,
     ) -> LabeledDataset:
         return LabeledDataset.build(
-            name, self.series, spec, window, attacks=self.attacks, mode=mode
+            name, self.series, spec, window, attacks=self.attacks, mode=mode, cache=cache
         )
 
 

@@ -116,27 +116,33 @@ class Table2Result:
         raise KeyError((dataset, model))
 
 
-def _make_detector(model: str, config: Table2Config):
+def _make_detector(model: str, config: Table2Config, trainfast=None):
     if model == "autoencoder":
-        return AutoencoderDetector(
+        detector = AutoencoderDetector(
             window=config.window,
             feature_dim=config.spec.dim,
             percentile=config.ae_percentile,
             seed=config.seed,
         )
-    return LstmDetector(
-        window=config.window,
-        feature_dim=config.spec.dim,
-        percentile=config.lstm_percentile,
-        seed=config.seed,
-    )
+    else:
+        detector = LstmDetector(
+            window=config.window,
+            feature_dim=config.spec.dim,
+            percentile=config.lstm_percentile,
+            seed=config.seed,
+        )
+    if trainfast is not None:
+        detector.attach_trainfast(trainfast)
+    return detector
 
 
 def _use_session_context(model: str, config: Table2Config) -> bool:
     return model == "lstm" and config.lstm_session_context
 
 
-def _benign_cv(model: str, benign: LabeledDataset, config: Table2Config) -> DetectionMetrics:
+def _benign_cv(
+    model: str, benign: LabeledDataset, config: Table2Config, trainfast=None
+) -> DetectionMetrics:
     """k-fold cross-validation false-alarm measurement on benign windows."""
     windows = benign.windowed.windows
     n = len(windows)
@@ -145,7 +151,7 @@ def _benign_cv(model: str, benign: LabeledDataset, config: Table2Config) -> Dete
     tp = fp = tn = fn = 0
     for fold in range(folds):
         held_mask = indices % folds == fold
-        detector = _make_detector(model, config)
+        detector = _make_detector(model, config, trainfast)
         detector.fit(windows[~held_mask], epochs=config.epochs, lr=config.lr)
         if _use_session_context(model, config):
             scores = detector.session_window_scores(benign.windowed)
@@ -164,8 +170,9 @@ def _attack_eval(
     attack: LabeledDataset,
     attack_capture: CollectedDataset,
     config: Table2Config,
+    trainfast=None,
 ) -> ModelResult:
-    detector = _make_detector(model, config)
+    detector = _make_detector(model, config, trainfast)
     if _use_session_context(model, config):
         detector.fit_with_session_context(
             benign.windowed, epochs=config.epochs, lr=config.lr
@@ -196,16 +203,39 @@ def _attack_eval(
     )
 
 
-def run_table2(config: Optional[Table2Config] = None) -> Table2Result:
-    """Run the full Table 2 experiment."""
+def run_table2(
+    config: Optional[Table2Config] = None, trainfast=None
+) -> Table2Result:
+    """Run the full Table 2 experiment.
+
+    ``trainfast`` (optional :class:`~repro.trainfast.settings.TrainfastSettings`)
+    fans the four independent (model, dataset) evaluations across sweep
+    workers, memoizes the capture encodes, and routes training through the
+    compiled kernels. Results are merged in the seed's row order.
+    """
+    from repro.trainfast.sweep import sweep_tools
+
     config = config or Table2Config()
     benign_capture = generate_benign_dataset(config.benign)
     attack_capture = generate_attack_dataset(config.attack)
-    benign = benign_capture.labeled(config.spec, config.window, "benign")
-    attack = attack_capture.labeled(config.spec, config.window, "attack")
-    results = []
-    for model in ("autoencoder", "lstm"):
-        benign_metrics = _benign_cv(model, benign, config)
-        results.append(ModelResult(dataset="benign", model=model, metrics=benign_metrics))
-        results.append(_attack_eval(model, benign, attack, attack_capture, config))
+    runner, cache = sweep_tools(trainfast)
+    benign = benign_capture.labeled(config.spec, config.window, "benign", cache=cache)
+    attack = attack_capture.labeled(config.spec, config.window, "attack", cache=cache)
+
+    def run_cell(task) -> ModelResult:
+        model, dataset = task
+        if dataset == "benign":
+            return ModelResult(
+                dataset="benign",
+                model=model,
+                metrics=_benign_cv(model, benign, config, trainfast),
+            )
+        return _attack_eval(model, benign, attack, attack_capture, config, trainfast)
+
+    tasks = [
+        (model, dataset)
+        for model in ("autoencoder", "lstm")
+        for dataset in ("benign", "attack")
+    ]
+    results = runner.map(run_cell, tasks)
     return Table2Result(results=results, config=config)

@@ -40,10 +40,24 @@ class AnomalyDetector(abc.ABC):
         # Fused inference kernels over a weight snapshot; scores() routes
         # through them once compile() has run (repro.hotpath.compiled).
         self._compiled = None
+        # Training fast path (repro.trainfast): when attached and enabled,
+        # fit() routes through the compiled training kernels.
+        self._trainfast = None
 
     def attach_metrics(self, metrics: MetricsRegistry) -> None:
         """Route training/inference error distributions into a registry."""
         self.metrics = metrics
+
+    def attach_trainfast(self, settings) -> None:
+        """Adopt :class:`~repro.trainfast.settings.TrainfastSettings`.
+
+        With ``compiled_trainer`` on, :meth:`fit` trains through the
+        preallocated-buffer kernels of :mod:`repro.trainfast.trainer` in
+        ``settings.trainer_dtype`` — float64 (the default) reproduces the
+        seed loss trajectory and weights bit-for-bit; float32 is the
+        documented fast mode.
+        """
+        self._trainfast = settings
 
     def compile(self, dtype: str = "float32"):
         """Snapshot the current weights into fused inference kernels.
@@ -77,8 +91,13 @@ class AnomalyDetector(abc.ABC):
     def fit(self, benign_windows: np.ndarray, **train_kwargs) -> TrainReport:
         """Train on benign windows and fit the percentile threshold."""
         windows = self._check(benign_windows)
-        report = self._fit_model(windows, **train_kwargs)
+        report = self._train(windows, **train_kwargs)
         self._compiled = None  # weights changed: any kernel snapshot is stale
+        if self._trainfast is not None and self._trainfast.compiled_scoring:
+            # Snapshot the fresh weights into fused inference kernels so the
+            # threshold fit and all subsequent scoring run compiled (float64
+            # stays bit-identical; float32 is the documented fast mode).
+            self.compile(self._trainfast.trainer_dtype)
         self.training_scores = self.scores(windows)
         self.threshold.fit(self.training_scores)
         if self.metrics is not None:
@@ -116,8 +135,18 @@ class AnomalyDetector(abc.ABC):
             return self._compiled.scores(windows)
         return self._scores(self._check(windows))
 
+    def _train(self, windows: np.ndarray, **train_kwargs) -> TrainReport:
+        """Dispatch training to the seed loop or the compiled kernels."""
+        if self._trainfast is not None and self._trainfast.compiled_trainer:
+            return self._fit_model_compiled(windows, **train_kwargs)
+        return self._fit_model(windows, **train_kwargs)
+
     @abc.abstractmethod
     def _fit_model(self, windows: np.ndarray, **train_kwargs) -> TrainReport: ...
+
+    def _fit_model_compiled(self, windows: np.ndarray, **train_kwargs) -> TrainReport:
+        """Same training, through repro.trainfast's compiled kernels."""
+        raise NotImplementedError
 
     @abc.abstractmethod
     def _scores(self, windows: np.ndarray) -> np.ndarray:
@@ -158,6 +187,12 @@ class AutoencoderDetector(AnomalyDetector):
 
     def _fit_model(self, windows: np.ndarray, **train_kwargs) -> TrainReport:
         return self.model.fit(windows, **train_kwargs)
+
+    def _fit_model_compiled(self, windows: np.ndarray, **train_kwargs) -> TrainReport:
+        from repro.trainfast.trainer import compile_trainer
+
+        trainer = compile_trainer(self.model, self._trainfast.trainer_dtype)
+        return trainer.fit(windows, **train_kwargs)
 
     def _scores(self, windows: np.ndarray) -> np.ndarray:
         if self.aggregate == "mean":
@@ -208,6 +243,13 @@ class LstmDetector(AnomalyDetector):
     def _fit_model(self, windows: np.ndarray, **train_kwargs) -> TrainReport:
         sequences, targets = self._split(windows)
         return self.model.fit(sequences, targets, **train_kwargs)
+
+    def _fit_model_compiled(self, windows: np.ndarray, **train_kwargs) -> TrainReport:
+        from repro.trainfast.trainer import compile_trainer
+
+        sequences, targets = self._split(windows)
+        trainer = compile_trainer(self.model, self._trainfast.trainer_dtype)
+        return trainer.fit(sequences, targets, **train_kwargs)
 
     def _scores(self, windows: np.ndarray) -> np.ndarray:
         """Window score: worst next-step prediction error within the window."""
@@ -270,7 +312,7 @@ class LstmDetector(AnomalyDetector):
     def fit_with_session_context(self, windowed, **train_kwargs):
         """Train on the dataset's windows, then fit the threshold on
         session-context scores (keeps train/serve scoring identical)."""
-        report = self._fit_model(self._check(windowed.windows), **train_kwargs)
+        report = self._train(self._check(windowed.windows), **train_kwargs)
         self._compiled = None  # weights changed: any kernel snapshot is stale
         self.training_scores = self.session_window_scores(windowed)
         self.threshold.fit(self.training_scores)

@@ -34,25 +34,41 @@ class Event:
     callback: Callable[[], Any] = field(compare=False)
     name: str = field(default="", compare=False)
     cancelled: bool = field(default=False, compare=False)
+    # Owning queue while the event is pending (None once popped): lets
+    # cancel() keep the queue's live count exact in O(1).
+    _queue: Optional["EventQueue"] = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when popped."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._queue is not None:
+            self._queue._live -= 1
 
 
 class EventQueue:
-    """A cancellable priority queue of :class:`Event` objects."""
+    """A cancellable priority queue of :class:`Event` objects.
+
+    ``len(queue)`` is O(1): a live-event count is maintained on push, pop
+    and cancel instead of scanning the heap — the ``sim.queue_depth``
+    metrics gauge reads it on every snapshot, which made the scan
+    O(pending events) per scrape.
+    """
 
     def __init__(self) -> None:
         self._heap: list[Event] = []
         self._counter = itertools.count()
+        self._live = 0
 
     def __len__(self) -> int:
-        return sum(1 for event in self._heap if not event.cancelled)
+        return self._live
 
     def push(self, time: float, callback: Callable[[], Any], name: str = "") -> Event:
         event = Event(time=time, seq=next(self._counter), callback=callback, name=name)
+        event._queue = self
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
 
     def pop(self) -> Optional[Event]:
@@ -60,6 +76,10 @@ class EventQueue:
         while self._heap:
             event = heapq.heappop(self._heap)
             if not event.cancelled:
+                # Detach so a later cancel() on the fired event cannot
+                # decrement the count of events still in the queue.
+                event._queue = None
+                self._live -= 1
                 return event
         return None
 

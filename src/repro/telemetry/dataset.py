@@ -63,6 +63,7 @@ class LabeledDataset:
         window: int,
         attacks: Iterable = (),
         mode: str = "session",
+        cache=None,
     ) -> "LabeledDataset":
         attacks = list(attacks)
         record_labels = label_records(series, attacks)
@@ -72,7 +73,7 @@ class LabeledDataset:
                 (attack.name for attack in attacks if attack.is_malicious(record)), None
             )
             record_attack.append(owner)
-        windowed = WindowedDataset.from_series(series, spec, window, mode=mode)
+        windowed = WindowedDataset.from_series(series, spec, window, mode=mode, cache=cache)
         window_labels = np.zeros(windowed.num_windows, dtype=bool)
         for i, indices in enumerate(windowed.window_records):
             window_labels[i] = bool(record_labels[list(indices)].any())

@@ -273,12 +273,31 @@ class StreamingEncoder:
 
 
 def sliding_windows(matrix: np.ndarray, window: int) -> np.ndarray:
-    """Flattened sliding windows: ``[M, D] -> [M-N+1, N*D]``."""
+    """Flattened sliding windows: ``[M, D] -> [M-N+1, N*D]``.
+
+    For a C-contiguous ``matrix`` this is **zero-copy**: the result is a
+    read-only strided view whose row ``i`` aliases source rows
+    ``i..i+N-1``, so the N-record overlap between consecutive windows is
+    shared memory rather than duplicated (a window matrix would otherwise
+    be ~N times the size of the per-record matrix). Aliasing contract:
+    mutating ``matrix`` changes every window that covers the mutated rows,
+    and the view itself rejects writes — callers that need an independent,
+    writable buffer must ``.copy()``. Non-contiguous inputs fall back to
+    the copying path and return a plain owned array.
+    """
     if window < 1:
         raise ValueError("window size must be >= 1")
-    m = matrix.shape[0]
+    m, dim = matrix.shape
     if m < window:
-        return np.zeros((0, window * matrix.shape[1]), dtype=matrix.dtype)
+        return np.zeros((0, window * dim), dtype=matrix.dtype)
+    if matrix.flags.c_contiguous:
+        item = matrix.itemsize
+        return np.lib.stride_tricks.as_strided(
+            matrix,
+            shape=(m - window + 1, window * dim),
+            strides=(dim * item, item),
+            writeable=False,
+        )
     return np.stack(
         [matrix[i : i + window].reshape(-1) for i in range(m - window + 1)]
     )
@@ -318,10 +337,33 @@ class WindowedDataset:
         spec: FeatureSpec,
         window: int,
         mode: str = "session",
+        *,
+        cache=None,
     ) -> "WindowedDataset":
+        """Encode and window a series.
+
+        ``cache`` (optional) is a :class:`repro.trainfast.cache.DatasetCache`
+        (or any object with the same ``windowed`` method): datasets are then
+        memoized on the series' *content* digest, so repeated encodes of the
+        same capture — e.g. across ablation-sweep configurations — are free.
+        Cached arrays are read-only; copy before mutating.
+        """
         if mode not in ("session", "global"):
             raise ValueError(f"mode must be 'session' or 'global', got {mode!r}")
-        per_record = spec.encode_series(series)
+        if cache is not None:
+            return cache.windowed(series, spec, window, mode, builder=cls._assemble)
+        return cls._assemble(series, spec, window, mode, spec.encode_series(series))
+
+    @classmethod
+    def _assemble(
+        cls,
+        series: TelemetrySeries,
+        spec: FeatureSpec,
+        window: int,
+        mode: str,
+        per_record: np.ndarray,
+    ) -> "WindowedDataset":
+        """Window an already-encoded per-record matrix (see from_series)."""
         if mode == "global":
             windows = sliding_windows(per_record, window)
             window_records = [
@@ -341,27 +383,30 @@ class WindowedDataset:
             if record.session_id == 0:
                 continue  # untracked records (no RNTI correlation)
             groups.setdefault(record.session_id, []).append(index)
-        rows: list[np.ndarray] = []
-        window_records = []
         dim = spec.dim
+        # One row per sliding position, one per short session: sized up
+        # front so rows land in the final matrix (no stack of copies).
+        total = sum(
+            max(len(indices) - window + 1, 1) for indices in groups.values()
+        )
+        windows = np.zeros((total, window * dim), dtype=per_record.dtype)
+        window_records = []
+        row = 0
         for session_id in sorted(groups):
             indices = groups[session_id]
             if len(indices) >= window:
                 for start in range(len(indices) - window + 1):
                     chosen = indices[start : start + window]
-                    rows.append(per_record[chosen].reshape(-1))
+                    np.take(per_record, chosen, axis=0, out=windows[row].reshape(window, dim))
                     window_records.append(tuple(chosen))
+                    row += 1
             else:
                 # Short (possibly abandoned) session: one left-padded window.
-                padded = np.zeros((window, dim), dtype=per_record.dtype)
-                padded[window - len(indices) :] = per_record[indices]
-                rows.append(padded.reshape(-1))
+                windows[row].reshape(window, dim)[window - len(indices) :] = (
+                    per_record[indices]
+                )
                 window_records.append(tuple(indices))
-        windows = (
-            np.stack(rows)
-            if rows
-            else np.zeros((0, window * dim), dtype=per_record.dtype)
-        )
+                row += 1
         return cls(
             spec=spec,
             window=window,

@@ -1,0 +1,41 @@
+"""Training fast path: compiled trainers, sweep fan-out, dataset cache.
+
+The training-side twin of :mod:`repro.hotpath`. Three independent layers,
+all behind :class:`TrainfastSettings` whose defaults keep the seed
+training path bit-identical:
+
+- :mod:`repro.trainfast.trainer` — compiled forward/backward/Adam kernels
+  for the autoencoder and the LSTM (float64 = exact, float32 = fast);
+- :mod:`repro.trainfast.sweep` — multiprocessing fan-out for
+  ablation/experiment sweeps with submission-order, deterministic results;
+- :mod:`repro.trainfast.cache` — content-addressed memoization of encoded
+  telemetry datasets.
+
+``repro.trainfast.bench`` measures all three against the committed
+``BENCH_trainfast.json`` baseline (``python -m repro trainfast-bench``).
+"""
+
+from repro.trainfast.cache import DatasetCache, series_digest, spec_key
+from repro.trainfast.settings import TrainfastSettings
+from repro.trainfast.sweep import SweepRunner, derive_seed
+from repro.trainfast.trainer import (
+    CompiledAutoencoderTrainer,
+    CompiledLstmTrainer,
+    FlatAdam,
+    compile_trainer,
+    compiled_train_minibatch,
+)
+
+__all__ = [
+    "CompiledAutoencoderTrainer",
+    "CompiledLstmTrainer",
+    "DatasetCache",
+    "FlatAdam",
+    "SweepRunner",
+    "TrainfastSettings",
+    "compile_trainer",
+    "compiled_train_minibatch",
+    "derive_seed",
+    "series_digest",
+    "spec_key",
+]

@@ -1,0 +1,169 @@
+"""Content-addressed dataset cache: skip re-encoding identical captures.
+
+Featurizing a capture is the slowest stage of an experiment sweep: the
+:class:`~repro.telemetry.features.StreamingEncoder` walks every record
+through Python-level featurization, and every sweep configuration
+re-encodes the *same* benign/attack captures. The cache memoizes that work
+on **content**, in two levels:
+
+- **per-record matrices**, keyed on ``(capture digest, FeatureSpec)`` —
+  sweep configurations that share a feature spec but vary the window size
+  re-window one encode instead of re-running the encoder;
+- **windowed datasets**, keyed on ``(capture digest, FeatureSpec, window,
+  mode)`` — a repeated configuration is a pure dictionary lookup.
+
+The capture digest is the SHA-256 of the fast TLV encoding of the series'
+records (:mod:`repro.telemetry.encoder`), so the key follows the *bytes of
+the capture*: a different record stream — even one generated into the same
+variable, or re-ordered — is a different key and can never alias a stale
+entry. There is no invalidation protocol to get wrong.
+
+Cached arrays are marked read-only before they are shared: every caller
+sees the same buffers, and anyone who needs to mutate must copy. With
+``cache_dir`` set, per-record matrices additionally persist to ``.npy``
+files so the encode survives across processes and runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import weakref
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro.telemetry import encoder as telemetry_encoder
+
+# Digest memo: hashing a series costs one full TLV encode, so remember it
+# per live series object. Weak keys mean a dropped series frees its entry;
+# a *new* series object (even with identical content) just re-hashes to
+# the same digest, so content addressing is preserved. The one assumption
+# is that a series' records are not mutated in place after first use —
+# true everywhere in the repo (captures are generated once, then read).
+_DIGEST_MEMO: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def series_digest(series) -> str:
+    """SHA-256 of the series' records under the fast TLV codec."""
+    try:
+        cached = _DIGEST_MEMO.get(series)
+    except TypeError:  # unhashable/unweakrefable series: always re-hash
+        cached = None
+    if cached is not None:
+        return cached
+    payload = telemetry_encoder.encode_batch(list(series.records))
+    digest = hashlib.sha256(payload).hexdigest()
+    try:
+        _DIGEST_MEMO[series] = digest
+    except TypeError:
+        pass
+    return digest
+
+
+def spec_key(spec) -> str:
+    """Stable short key for a FeatureSpec (frozen dataclass => stable repr)."""
+    return hashlib.sha256(repr(spec).encode("utf-8")).hexdigest()[:16]
+
+
+class DatasetCache:
+    """Two-level content-addressed cache for encoded telemetry datasets.
+
+    Thread the same instance through
+    :meth:`~repro.telemetry.features.WindowedDataset.from_series` (its
+    ``cache=`` keyword), :meth:`LabeledDataset.build`, or
+    :meth:`CollectedDataset.labeled` — all take the cache by duck type, so
+    the telemetry layer never imports this package.
+    """
+
+    def __init__(self, cache_dir: Optional[str] = None) -> None:
+        self.cache_dir = Path(cache_dir) if cache_dir else None
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self._matrices: dict = {}
+        self._datasets: dict = {}
+        self.hits = 0
+        self.misses = 0
+
+    # -- stats -------------------------------------------------------------
+
+    @property
+    def stats(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "matrices": len(self._matrices),
+            "datasets": len(self._datasets),
+        }
+
+    def clear(self) -> None:
+        self._matrices.clear()
+        self._datasets.clear()
+
+    # -- level 1: per-record feature matrices ------------------------------
+
+    def record_matrix(self, series, spec, digest: Optional[str] = None) -> np.ndarray:
+        """The encoded ``[M, spec.dim]`` matrix for a series (read-only)."""
+        if digest is None:
+            digest = series_digest(series)
+        key = (digest, spec_key(spec))
+        matrix = self._matrices.get(key)
+        if matrix is None and self.cache_dir is not None:
+            matrix = self._load_matrix(key)
+            if matrix is not None:
+                self._matrices[key] = matrix
+        if matrix is not None:
+            self.hits += 1
+            return matrix
+        self.misses += 1
+        matrix = spec.encode_series(series)
+        matrix.setflags(write=False)
+        self._matrices[key] = matrix
+        if self.cache_dir is not None:
+            self._store_matrix(key, matrix)
+        return matrix
+
+    # -- level 2: windowed datasets ----------------------------------------
+
+    def windowed(self, series, spec, window: int, mode: str, builder):
+        """Memoized ``builder(series, spec, window, mode, per_record)``.
+
+        ``builder`` is ``WindowedDataset._assemble`` (passed in by
+        ``from_series`` so this module needs no telemetry import at call
+        time). The returned dataset's arrays are read-only and shared
+        between every caller that hits the same key.
+        """
+        digest = series_digest(series)
+        key = (digest, spec_key(spec), int(window), mode)
+        dataset = self._datasets.get(key)
+        if dataset is not None:
+            self.hits += 1
+            return dataset
+        per_record = self.record_matrix(series, spec, digest=digest)
+        dataset = builder(series, spec, window, mode, per_record)
+        dataset.windows.setflags(write=False)
+        self._datasets[key] = dataset
+        return dataset
+
+    # -- optional disk layer -----------------------------------------------
+
+    def _matrix_path(self, key) -> Path:
+        digest, spec_part = key
+        return self.cache_dir / f"records-{digest[:24]}-{spec_part}.npy"
+
+    def _load_matrix(self, key) -> Optional[np.ndarray]:
+        try:
+            matrix = np.load(self._matrix_path(key))
+        except (OSError, ValueError):
+            return None
+        matrix.setflags(write=False)
+        return matrix
+
+    def _store_matrix(self, key, matrix: np.ndarray) -> None:
+        path = self._matrix_path(key)
+        try:
+            tmp = path.with_suffix(".tmp.npy")
+            np.save(tmp, matrix)
+            tmp.replace(path)
+        except OSError:
+            pass  # disk layer is best-effort; memory layer already holds it

@@ -1,0 +1,109 @@
+"""Multi-core sweep runner: fan experiment configurations across workers.
+
+The repo's ablations and tables evaluate one configuration at a time —
+train a detector, score benign/attack captures, emit a row — and every
+configuration is independent of the others. :class:`SweepRunner` fans
+those evaluations across ``multiprocessing`` workers while keeping the
+results *indistinguishable* from the serial sweep:
+
+- **fork inheritance, no capture pickling** — the pool uses the ``fork``
+  start method, and the task function plus its closed-over context (the
+  generated captures, a warm :class:`~repro.trainfast.cache.DatasetCache`)
+  are stashed in a module global *before* the fork, so workers inherit
+  them through copy-on-write memory instead of serializing megabytes of
+  telemetry per task. Only the task index crosses the pipe going in, and
+  only the small result row comes back.
+- **submission-order merge** — ``Pool.map`` returns results positionally,
+  so row order never depends on worker scheduling.
+- **deterministic per-task seeding** — tasks must derive randomness from
+  their own configuration (every repo experiment already seeds its
+  detector/dataset from the config; :func:`derive_seed` is the helper for
+  sweeps that need decorrelated per-index seeds). Nothing may read
+  cross-task global RNG state, and then parallel == serial exactly.
+
+Where ``fork`` is unavailable (non-POSIX platforms) or ``workers <= 1``,
+``map`` degrades to the plain serial loop — same results, seed timing.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Callable, Optional, Sequence
+
+from repro.trainfast.settings import TrainfastSettings
+
+# Closure slot inherited by forked workers (see SweepRunner.map). Holding
+# it in a module global instead of Pool initargs keeps arbitrary
+# unpicklable context (captures, caches, lambdas) usable under fork.
+_FORK_TASK: Optional[tuple] = None
+
+
+def sweep_tools(settings: Optional[TrainfastSettings]):
+    """(SweepRunner, DatasetCache or None) for optional settings.
+
+    The one-liner experiment entry points (ablations, Table 2) call this to
+    turn ``trainfast=None`` into the seed behaviour — a serial runner and
+    no cache — and a populated :class:`TrainfastSettings` into its
+    configured runner/cache pair.
+    """
+    from repro.trainfast.cache import DatasetCache
+
+    if settings is None:
+        return SweepRunner(0), None
+    cache = DatasetCache(settings.cache_dir) if settings.cache else None
+    return SweepRunner(settings.sweep_workers), cache
+
+
+def derive_seed(base_seed: int, index: int) -> int:
+    """Decorrelated deterministic seed for sweep task ``index``.
+
+    Pure arithmetic on (base, index): the same value whether the task runs
+    serially, on worker 0, or on worker 7.
+    """
+    return (int(base_seed) * 1_000_003 + index * 7_919 + 12_289) % (2**31 - 1)
+
+
+def _run_indexed(index: int):
+    fn, items = _FORK_TASK  # type: ignore[misc]
+    return fn(items[index])
+
+
+class SweepRunner:
+    """Run ``fn`` over configurations, serially or across forked workers."""
+
+    def __init__(self, workers: int = 0) -> None:
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        self.workers = workers
+
+    @classmethod
+    def from_settings(cls, settings: Optional[TrainfastSettings]) -> "SweepRunner":
+        return cls(workers=settings.sweep_workers if settings else 0)
+
+    @property
+    def parallel_available(self) -> bool:
+        return (
+            self.workers > 1
+            and "fork" in multiprocessing.get_all_start_methods()
+        )
+
+    def map(self, fn: Callable, items: Sequence) -> list:
+        """``[fn(item) for item in items]``, fanned across the workers.
+
+        Results come back in submission order. ``fn`` and ``items`` may
+        close over anything (they are fork-inherited, never pickled); each
+        *result* must be picklable — experiment rows are plain dataclasses.
+        """
+        global _FORK_TASK
+        items = list(items)
+        workers = min(self.workers, len(items))
+        if workers <= 1 or not self.parallel_available:
+            return [fn(item) for item in items]
+        previous = _FORK_TASK
+        _FORK_TASK = (fn, items)
+        try:
+            context = multiprocessing.get_context("fork")
+            with context.Pool(processes=workers) as pool:
+                return pool.map(_run_indexed, range(len(items)), chunksize=1)
+        finally:
+            _FORK_TASK = previous

@@ -150,3 +150,64 @@ class TestEntity:
         sim.run()
         assert entity.logs == [(1.0, "hello")]
         assert entity.now == 1.0
+
+
+class TestEventQueueLiveCount:
+    """len(queue) is an O(1) maintained count, exact under cancellation."""
+
+    def test_len_tracks_push_pop_cancel(self):
+        from repro.sim.engine import EventQueue
+
+        queue = EventQueue()
+        assert len(queue) == 0
+        events = [queue.push(float(i), lambda: None) for i in range(5)]
+        assert len(queue) == 5
+        events[2].cancel()
+        assert len(queue) == 4
+        assert queue.pop() is events[0]
+        assert len(queue) == 3
+
+    def test_cancel_then_pop_skips_without_double_count(self):
+        from repro.sim.engine import EventQueue
+
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        second = queue.push(2.0, lambda: None)
+        first.cancel()
+        assert len(queue) == 1
+        # pop() silently discards the cancelled head; the count must not
+        # be decremented a second time for it.
+        assert queue.pop() is second
+        assert len(queue) == 0
+        assert queue.pop() is None
+        assert len(queue) == 0
+
+    def test_double_cancel_counts_once(self):
+        from repro.sim.engine import EventQueue
+
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert len(queue) == 1
+
+    def test_cancel_after_pop_does_not_touch_queue(self):
+        from repro.sim.engine import EventQueue
+
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert queue.pop() is event
+        event.cancel()  # fired events can still be cancelled by callers
+        assert len(queue) == 1
+
+    def test_simulator_pending_matches_queue(self):
+        sim = Simulator()
+        kept = sim.schedule(1.0, lambda: None)
+        dropped = sim.schedule(2.0, lambda: None)
+        dropped.cancel()
+        assert sim.pending == 1
+        sim.run()
+        assert sim.pending == 0
+        assert kept.cancelled is False

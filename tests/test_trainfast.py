@@ -1,0 +1,536 @@
+"""repro.trainfast: equality contracts, sweep determinism, cache, gates.
+
+The training fast path trades work for speed only where the result is
+provably the same, so almost every test here is an equality test:
+
+- defaults keep the seed training path (no compiled trainers, serial
+  sweeps, no dataset cache);
+- the float64 compiled trainers reproduce the seed loops bit-for-bit —
+  per-epoch loss trajectories *and* final weights — for both models, on
+  captures from each of the five attacks' scenarios;
+- the in-place FlatAdam matches the seed Adam parameter-for-parameter
+  (property test over random shapes and gradient streams);
+- a parallel float64 sweep returns exactly the serial seed sweep's rows;
+- the dataset cache is content-addressed: identical telemetry hits,
+  different telemetry/spec/window never alias.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks import (
+    BlindDosAttack,
+    BtsDosAttack,
+    DownlinkIdExtractionAttack,
+    NullCipherAttack,
+    UplinkIdExtractionAttack,
+)
+from repro.core import XsecConfig
+from repro.core.framework import build_detector
+from repro.experiments.ablations import AblationConfig, run_window_ablation
+from repro.experiments.datasets import (
+    AttackDatasetConfig,
+    BenignDatasetConfig,
+    generate_benign_dataset,
+)
+from repro.ml.autoencoder import Autoencoder
+from repro.ml.layers import Parameter
+from repro.ml.lstm import LstmPredictor
+from repro.ml.optim import Adam
+from repro.ml.training import TrainConfig, train_autoencoder
+from repro.ran.core_network import AmfConfig
+from repro.ran.network import FiveGNetwork, NetworkConfig
+from repro.telemetry.collector import MobiFlowCollector
+from repro.telemetry.features import FeatureSpec, WindowedDataset
+from repro.telemetry.mobiflow import MobiFlowRecord, TelemetrySeries
+from repro.trainfast import (
+    DatasetCache,
+    FlatAdam,
+    SweepRunner,
+    TrainfastSettings,
+    compile_trainer,
+    compiled_train_minibatch,
+    derive_seed,
+    series_digest,
+    spec_key,
+)
+from repro.trainfast.bench import TrainfastBenchResult, violations
+from repro.trainfast.trainer import _ParamStore
+
+
+# ---------------------------------------------------------------------------
+# settings
+
+
+class TestTrainfastSettings:
+    def test_defaults_all_off(self):
+        settings_ = TrainfastSettings()
+        assert not settings_.compiled_trainer
+        assert not settings_.compiled_scoring
+        assert settings_.sweep_workers == 0
+        assert not settings_.cache
+        assert not settings_.any_enabled
+
+    def test_any_enabled_tracks_each_flag(self):
+        assert TrainfastSettings(compiled_trainer=True).any_enabled
+        assert TrainfastSettings(compiled_scoring=True).any_enabled
+        assert TrainfastSettings(sweep_workers=2).any_enabled
+        assert TrainfastSettings(cache=True).any_enabled
+
+    def test_bad_dtype_rejected(self):
+        with pytest.raises(ValueError):
+            TrainfastSettings(trainer_dtype="float16")
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError):
+            TrainfastSettings(sweep_workers=-1)
+
+
+# ---------------------------------------------------------------------------
+# float64 compiled-trainer bit-identity, per attack scenario
+
+
+def _uplink_extraction(net):
+    victim = net.add_ue("pixel6", name="victim")
+    net.sim.schedule(2.5, victim.start_session)
+    return UplinkIdExtractionAttack(net, victim=victim, start_time=2.0, duration_s=8.0)
+
+
+def _downlink_extraction(net):
+    victim = net.add_ue("pixel6", name="victim")
+    net.sim.schedule(2.5, victim.start_session)
+    return DownlinkIdExtractionAttack(net, victim=victim, start_time=2.0, duration_s=8.0)
+
+
+# name -> (attack factory taking the live network, extra NetworkConfig kwargs)
+ATTACK_SCENARIOS = {
+    "bts_dos": (
+        lambda net: BtsDosAttack(net, start_time=3.0, connections=8, interval_s=0.08),
+        {},
+    ),
+    "blind_dos": (
+        lambda net: BlindDosAttack(net, victim=net.ues[0], start_time=3.0, replays=5),
+        {},
+    ),
+    "uplink_id_extraction": (_uplink_extraction, {}),
+    "downlink_id_extraction": (_downlink_extraction, {}),
+    "null_cipher": (
+        lambda net: NullCipherAttack(net, start_time=3.0),
+        {"amf": AmfConfig(allow_null_algorithms=True)},
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def scenario_windows():
+    """Window matrices from a live capture of each attack's scenario."""
+    spec = FeatureSpec()
+    out = {}
+    for name, (factory, net_kwargs) in ATTACK_SCENARIOS.items():
+        net = FiveGNetwork(NetworkConfig(seed=77, **net_kwargs))
+        for profile in ("pixel5", "oai_ue"):
+            ue = net.add_ue(profile)
+            net.sim.schedule(0.5, ue.start_session)
+        factory(net).arm()
+        net.run(until=16.0)
+        series = MobiFlowCollector().parse_stream(net.pcap)
+        dataset = WindowedDataset.from_series(series, spec, window=6)
+        assert dataset.num_windows > 0, name
+        out[name] = np.asarray(dataset.windows, dtype=np.float64)
+    return out
+
+
+class TestCompiledTrainerBitIdentity:
+    """The acceptance contract: float64 kernels == seed loops, bitwise."""
+
+    @pytest.mark.parametrize(
+        "scenario", sorted(ATTACK_SCENARIOS), ids=sorted(ATTACK_SCENARIOS)
+    )
+    def test_autoencoder_losses_and_weights(self, scenario_windows, scenario):
+        windows = scenario_windows[scenario]
+        dim = windows.shape[1]
+        seed_model = Autoencoder(dim, hidden_dim=48, latent_dim=12, seed=3)
+        fast_model = Autoencoder(dim, hidden_dim=48, latent_dim=12, seed=3)
+        seed_report = seed_model.fit(windows, epochs=4)
+        fast_report = compile_trainer(fast_model, "float64").fit(windows, epochs=4)
+        assert seed_report.epoch_losses == fast_report.epoch_losses
+        for a, b in zip(seed_model.model.params(), fast_model.model.params()):
+            assert np.array_equal(a.value, b.value)
+
+    @pytest.mark.parametrize(
+        "scenario", sorted(ATTACK_SCENARIOS), ids=sorted(ATTACK_SCENARIOS)
+    )
+    def test_lstm_losses_and_weights(self, scenario_windows, scenario):
+        windows = scenario_windows[scenario]
+        dim = windows.shape[1] // 6
+        unflat = windows.reshape(len(windows), 6, dim)
+        sequences, targets = unflat[:, :-1, :], unflat[:, 1:, :]
+        seed_model = LstmPredictor(dim, hidden_dim=24, output_dim=dim, seed=3)
+        fast_model = LstmPredictor(dim, hidden_dim=24, output_dim=dim, seed=3)
+        seed_report = seed_model.fit(sequences, targets, epochs=4)
+        fast_report = compile_trainer(fast_model, "float64").fit(
+            sequences, targets, epochs=4
+        )
+        assert seed_report.epoch_losses == fast_report.epoch_losses
+        for a, b in zip(seed_model.params(), fast_model.params()):
+            assert np.array_equal(a.value, b.value)
+
+    def test_float32_tracks_seed_loss(self, scenario_windows):
+        windows = scenario_windows["bts_dos"]
+        dim = windows.shape[1]
+        seed_model = Autoencoder(dim, hidden_dim=48, latent_dim=12, seed=3)
+        fast_model = Autoencoder(dim, hidden_dim=48, latent_dim=12, seed=3)
+        seed_report = seed_model.fit(windows, epochs=4)
+        fast_report = compile_trainer(fast_model, "float32").fit(windows, epochs=4)
+        assert seed_report.epoch_losses[-1] == pytest.approx(
+            fast_report.epoch_losses[-1], rel=1e-4
+        )
+
+    def test_train_minibatch_early_stopping_mirrored(self, scenario_windows):
+        windows = scenario_windows["null_cipher"]
+        dim = windows.shape[1]
+        config = TrainConfig(
+            epochs=12, lr=2e-3, validation_fraction=0.2, patience=2, seed=5
+        )
+        seed_model = Autoencoder(dim, hidden_dim=32, latent_dim=8, seed=5)
+        fast_model = Autoencoder(dim, hidden_dim=32, latent_dim=8, seed=5)
+        seed_hist = train_autoencoder(seed_model, windows, config)
+        fast_hist = compiled_train_minibatch(fast_model, windows, windows, config)
+        assert seed_hist.epoch_losses == fast_hist.epoch_losses
+        assert seed_hist.validation_losses == fast_hist.validation_losses
+        assert seed_hist.best_epoch == fast_hist.best_epoch
+        assert seed_hist.stopped_early == fast_hist.stopped_early
+        for a, b in zip(seed_model.model.params(), fast_model.model.params()):
+            assert np.array_equal(a.value, b.value)
+
+
+# ---------------------------------------------------------------------------
+# FlatAdam == seed Adam (property test)
+
+
+def _random_params(rng, n_params):
+    shapes = [
+        (int(rng.integers(1, 7)), int(rng.integers(1, 7))) for _ in range(n_params)
+    ]
+    return [
+        [Parameter(rng.normal(size=shape)) for shape in shapes],
+        [Parameter(np.zeros(shape)) for shape in shapes],
+    ]
+
+
+class TestFlatAdamMatchesSeedAdam:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    def test_parameter_trajectories_bit_identical(self, seed):
+        rng = np.random.default_rng(seed)
+        n_params = int(rng.integers(1, 4))
+        steps = int(rng.integers(1, 6))
+        lr = float(rng.uniform(1e-4, 1e-2))
+        params_a, params_b = _random_params(rng, n_params)
+        for a, b in zip(params_a, params_b):
+            b.value[...] = a.value
+        seed_adam = Adam(params_a, lr=lr)
+        store = _ParamStore(params_b, "float64")
+        flat = FlatAdam(store, lr=lr)
+        for _ in range(steps):
+            grads = [rng.normal(size=p.shape) for p in params_a]
+            for p, g, view in zip(params_a, grads, flat.grad_views):
+                p.grad[...] = g
+                view[...] = g
+            seed_adam.step()
+            flat.step()
+            for a, b in zip(params_a, params_b):
+                assert np.array_equal(a.value, b.value)
+
+    def test_float64_views_alias_model_params(self):
+        params = [Parameter(np.ones((3, 2)))]
+        store = _ParamStore(params, "float64")
+        assert store.views[0] is params[0].value
+
+
+# ---------------------------------------------------------------------------
+# detector routing
+
+
+@pytest.fixture(scope="module")
+def benign_windows():
+    capture = generate_benign_dataset(BenignDatasetConfig(seed=11, duration_s=30.0))
+    dataset = capture.labeled(FeatureSpec(), 6, "benign")
+    return np.asarray(dataset.windowed.windows, dtype=np.float64)
+
+
+def _detector_params(detector):
+    model = detector.model  # Autoencoder wraps its Sequential; LSTM is flat
+    return model.params() if hasattr(model, "params") else model.model.params()
+
+
+class TestDetectorRouting:
+    def test_default_config_attaches_nothing(self):
+        config = XsecConfig()
+        assert not config.trainfast.any_enabled
+        detector = build_detector(config)
+        assert detector._trainfast is None
+
+    def test_enabled_config_attaches_settings(self):
+        config = XsecConfig(
+            trainfast=TrainfastSettings(compiled_trainer=True)
+        )
+        detector = build_detector(config)
+        assert detector._trainfast is config.trainfast
+
+    @pytest.mark.parametrize("detector_name", ["autoencoder", "lstm"])
+    def test_compiled_f64_fit_equals_seed_fit(self, benign_windows, detector_name):
+        seed_det = build_detector(XsecConfig(detector=detector_name, train_epochs=4))
+        fast_det = build_detector(
+            XsecConfig(
+                detector=detector_name,
+                train_epochs=4,
+                trainfast=TrainfastSettings(
+                    compiled_trainer=True, compiled_scoring=True
+                ),
+            )
+        )
+        assert fast_det._trainfast is not None
+        seed_det.fit(benign_windows, epochs=4)
+        fast_det.fit(benign_windows, epochs=4)
+        # float64 end to end: weights, training scores, and the threshold
+        # all land on exactly the seed's bits.
+        for a, b in zip(_detector_params(seed_det), _detector_params(fast_det)):
+            assert np.array_equal(a.value, b.value)
+        assert np.array_equal(seed_det.training_scores, fast_det.training_scores)
+        assert seed_det.threshold.threshold == fast_det.threshold.threshold
+        assert fast_det.compiled is not None  # compiled_scoring snapshot
+
+    def test_fit_without_trainfast_leaves_no_snapshot(self, benign_windows):
+        detector = build_detector(XsecConfig(train_epochs=2))
+        detector.fit(benign_windows, epochs=2)
+        assert detector.compiled is None
+
+
+# ---------------------------------------------------------------------------
+# sweep runner
+
+
+class TestSweepRunner:
+    def test_derive_seed_deterministic_and_distinct(self):
+        seeds = [derive_seed(7, i) for i in range(32)]
+        assert seeds == [derive_seed(7, i) for i in range(32)]
+        assert len(set(seeds)) == len(seeds)
+        assert derive_seed(8, 0) != derive_seed(7, 0)
+
+    def test_serial_map_preserves_order(self):
+        runner = SweepRunner(workers=0)
+        assert not runner.parallel_available
+        assert runner.map(lambda x: x * x, [3, 1, 2]) == [9, 1, 4]
+
+    def test_parallel_map_matches_serial(self):
+        parallel = SweepRunner(workers=2)
+        if not parallel.parallel_available:  # pragma: no cover - fork-less host
+            pytest.skip("fork start method unavailable")
+        items = list(range(8))
+        assert parallel.map(lambda x: x * 3 + 1, items) == [x * 3 + 1 for x in items]
+
+    def test_from_settings(self):
+        assert SweepRunner.from_settings(None).workers == 0
+        assert SweepRunner.from_settings(TrainfastSettings(sweep_workers=3)).workers == 3
+
+
+class TestParallelSweepEqualsSerial:
+    def test_window_ablation_rows_identical(self):
+        config = AblationConfig(
+            epochs=3,
+            seed=9,
+            benign=BenignDatasetConfig(seed=11, duration_s=25.0),
+            attack=AttackDatasetConfig(
+                seed=12,
+                duration_s=20.0,
+                bts_dos_instances=1,
+                blind_dos_instances=1,
+                uplink_id_instances=1,
+                downlink_id_instances=1,
+                null_cipher_instances=1,
+            ),
+        )
+        windows = (4, 6)
+        serial = run_window_ablation(config, windows)
+        fast = run_window_ablation(
+            config,
+            windows,
+            trainfast=TrainfastSettings(
+                compiled_trainer=True,
+                compiled_scoring=True,
+                sweep_workers=2,
+                cache=True,
+            ),
+        )
+        assert serial.rows == fast.rows
+
+
+# ---------------------------------------------------------------------------
+# dataset cache
+
+
+def _record(t, msg, session=1, **kwargs):
+    defaults = dict(protocol="RRC", direction="UL")
+    defaults.update(kwargs)
+    return MobiFlowRecord(timestamp=t, msg=msg, session_id=session, **defaults)
+
+
+def _series(extra_msg="RRCSetupComplete"):
+    return TelemetrySeries(
+        [
+            _record(0.00, "RRCSetupRequest", establishment_cause="mo-Data"),
+            _record(0.01, "RRCSetup", direction="DL"),
+            _record(0.02, extra_msg),
+            _record(0.03, "RegistrationRequest", protocol="NAS", suci="suci-001-01-x"),
+            _record(0.04, "AuthenticationRequest", protocol="NAS", direction="DL"),
+        ]
+    )
+
+
+class TestDatasetCache:
+    def test_identical_content_hits_even_across_objects(self):
+        cache = DatasetCache()
+        spec = FeatureSpec()
+        first = WindowedDataset.from_series(_series(), spec, window=3, cache=cache)
+        assert cache.misses > 0 and cache.hits == 0
+        # A different series object with byte-identical records is the
+        # same content-address: pure hit, same dataset object.
+        again = WindowedDataset.from_series(_series(), spec, window=3, cache=cache)
+        assert again is first
+        assert cache.hits > 0
+
+    def test_different_window_is_a_miss_but_shares_the_encode(self):
+        cache = DatasetCache()
+        spec = FeatureSpec()
+        three = WindowedDataset.from_series(_series(), spec, window=3, cache=cache)
+        misses_before, hits_before = cache.misses, cache.hits
+        two = WindowedDataset.from_series(_series(), spec, window=2, cache=cache)
+        assert two is not three
+        # New window = a fresh dataset, but the per-record encode (the
+        # expensive level) is shared: level-1 hit, no new encode.
+        assert cache.misses == misses_before
+        assert cache.hits == hits_before + 1
+        assert two.per_record is three.per_record
+
+    def test_different_content_never_aliases(self):
+        cache = DatasetCache()
+        spec = FeatureSpec()
+        a = WindowedDataset.from_series(_series(), spec, window=3, cache=cache)
+        b = WindowedDataset.from_series(
+            _series(extra_msg="RRCReject"), spec, window=3, cache=cache
+        )
+        assert a is not b
+        assert series_digest(_series()) != series_digest(_series(extra_msg="RRCReject"))
+
+    def test_digest_memoized_per_object(self):
+        series = _series()
+        assert series_digest(series) == series_digest(series)
+        assert series_digest(series) == series_digest(_series())
+
+    def test_spec_key_tracks_spec(self):
+        assert spec_key(FeatureSpec()) == spec_key(FeatureSpec())
+
+    def test_cached_arrays_are_read_only(self):
+        cache = DatasetCache()
+        dataset = WindowedDataset.from_series(_series(), FeatureSpec(), 3, cache=cache)
+        with pytest.raises(ValueError):
+            dataset.windows[0, 0] = 1.0
+        with pytest.raises(ValueError):
+            dataset.per_record[0, 0] = 1.0
+
+    def test_cache_matches_uncached_build(self):
+        cached = WindowedDataset.from_series(
+            _series(), FeatureSpec(), 3, cache=DatasetCache()
+        )
+        plain = WindowedDataset.from_series(_series(), FeatureSpec(), 3)
+        assert np.array_equal(cached.windows, plain.windows)
+        assert np.array_equal(cached.per_record, plain.per_record)
+        assert cached.window_records == plain.window_records
+
+    def test_disk_layer_roundtrip(self, tmp_path):
+        spec = FeatureSpec()
+        writer = DatasetCache(cache_dir=str(tmp_path))
+        matrix = writer.record_matrix(_series(), spec)
+        reader = DatasetCache(cache_dir=str(tmp_path))
+        loaded = reader.record_matrix(_series(), spec)
+        assert reader.hits == 1 and reader.misses == 0
+        assert np.array_equal(loaded, matrix)
+        assert not loaded.flags.writeable
+
+    def test_clear_resets_storage(self):
+        cache = DatasetCache()
+        WindowedDataset.from_series(_series(), FeatureSpec(), 3, cache=cache)
+        cache.clear()
+        assert cache.stats["matrices"] == 0
+        assert cache.stats["datasets"] == 0
+
+
+# ---------------------------------------------------------------------------
+# bench gate logic
+
+
+def _passing_result():
+    return TrainfastBenchResult(
+        trainers={
+            "autoencoder": {"speedup": 2.6},
+            "lstm": {"speedup": 2.1},
+        },
+        sweep={"speedup": 2.8, "floor": 2.5, "parallel_capable": True},
+        scaling={"measured": True, "efficiency": 0.8},
+        cache={"speedup": 100.0},
+        equality={
+            "trainer_f64_exact": True,
+            "sweep_parallel_f64_matches_serial": True,
+            "cache_hit_on_reencode": True,
+        },
+        meta={},
+    )
+
+
+class TestBenchGates:
+    def test_passing_result_has_no_violations(self):
+        assert violations(_passing_result()) == []
+
+    def test_equality_breach_flagged(self):
+        result = _passing_result()
+        result.equality["trainer_f64_exact"] = False
+        assert any("equality" in v for v in violations(result))
+
+    def test_floor_breaches_flagged(self):
+        result = _passing_result()
+        result.trainers["lstm"]["speedup"] = 1.9
+        result.sweep["speedup"] = 2.4
+        result.cache["speedup"] = 4.0
+        result.scaling["efficiency"] = 0.4
+        assert len(violations(result)) == 4
+
+    def test_quick_run_gates_trainers_at_smoke_floor(self):
+        # run_bench(quick=True) stamps the slacked smoke floor into each
+        # trainer entry; violations() must honor it over the full floor.
+        result = _passing_result()
+        result.trainers["lstm"] = {"speedup": 1.8, "floor": 1.7}
+        assert violations(result) == []
+        result.trainers["lstm"]["speedup"] = 1.6
+        assert any("lstm" in v for v in violations(result))
+
+    def test_serial_host_gates_at_serial_floor(self):
+        result = _passing_result()
+        result.sweep = {"speedup": 1.6, "floor": 1.3, "parallel_capable": False}
+        result.scaling = {"measured": False}
+        assert violations(result) == []
+        result.sweep["speedup"] = 1.2
+        assert any("sweep" in v for v in violations(result))
+
+    def test_baseline_regression_flagged(self):
+        result = _passing_result()
+        baseline = _passing_result().to_dict()
+        baseline["sweep"]["speedup"] = 20.0  # committed run was much faster
+        assert any("regressed" in v for v in violations(result, baseline))
+
+    def test_baseline_within_slack_passes(self):
+        result = _passing_result()
+        baseline = _passing_result().to_dict()
+        assert violations(result, baseline) == []
