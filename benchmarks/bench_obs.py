@@ -1,0 +1,85 @@
+"""Bench O1 — the observability plane's overhead (repro.slo).
+
+Measures what full observability (SLO engine + counters + profiler hooks
++ export plane) costs the per-record inference hot path, split into:
+
+- per-record hook overhead (inline counters, sampled profiler hook),
+  measured as a paired plain/observed difference on one scorer object;
+- amortized plane overhead (histogram observe + engine tick + OpenMetrics
+  render per cadence interval), from micro-benchmarked per-call costs.
+
+Gates the sum at the <= 3% ceiling and re-verifies that the observed
+scorer's per-record errors are bit-identical to the plain scorer's, then
+compares against the committed ``BENCH_obs.json`` at the repo root.
+
+Runs two ways:
+
+- under pytest-benchmark (full run, artifacts under ``benchmarks/out/``);
+- as a plain script for CI smoke: ``python benchmarks/bench_obs.py
+  --quick`` (no pytest-benchmark needed), exit 1 on any violated gate.
+  ``--update`` rewrites the committed baseline from a full run.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BASELINE = REPO_ROOT / "BENCH_obs.json"
+
+
+def _run(quick):
+    from repro.slo.bench import run_bench
+
+    return run_bench(quick=quick)
+
+
+def test_obs(benchmark, artifact_dir):
+    from conftest import save_artifact
+
+    from repro.slo.bench import load_baseline, violations
+
+    result = benchmark.pedantic(lambda: _run(False), rounds=1, iterations=1)
+    text = result.report()
+    save_artifact(artifact_dir, "obs.txt", text)
+    print("\n" + text)
+    save_artifact(
+        artifact_dir,
+        "obs.json",
+        json.dumps(result.to_dict(), indent=2, sort_keys=True),
+    )
+    failures = violations(result, load_baseline(BASELINE))
+    assert not failures, failures
+
+
+def main(argv):
+    from repro.slo.bench import load_baseline, save_result, violations
+
+    quick = "--quick" in argv
+    update = "--update" in argv
+    result = _run(quick)
+    print(result.report())
+    if "--json" in argv:
+        out = argv[argv.index("--json") + 1]
+        with open(out, "w", encoding="utf-8") as fh:
+            json.dump(result.to_dict(), fh, indent=2, sort_keys=True)
+        print(f"snapshot -> {out}")
+    if update:
+        if quick:
+            print("refusing to update the baseline from a --quick run", file=sys.stderr)
+            return 1
+        save_result(result, BASELINE)
+        print(f"baseline updated -> {BASELINE}")
+        return 0
+    baseline = load_baseline(BASELINE)
+    if baseline is None:
+        print(f"(no committed baseline at {BASELINE}; gating on the ceiling only)")
+    failures = violations(result, baseline)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    sys.exit(main(sys.argv[1:]))

@@ -24,7 +24,15 @@ Gives operators the paper's workflow without writing code:
 - ``trainfast-bench`` — measure the training fast path (compiled training
   kernels, parallel sweeps, dataset cache), verify the equality contracts,
   and gate against the committed ``BENCH_trainfast.json`` baseline
-  (see docs/PERFORMANCE.md).
+  (see docs/PERFORMANCE.md);
+- ``slo``      — run the live testbed with the full observability plane on
+  (SLO engine, profiler, exporter, provenance) and render per-objective
+  attainment/burn (``report``), the alert transition log (``alerts``),
+  the per-stage self-time profile (``profile``), or one verdict's full
+  evidence chain (``explain``) — see docs/OBSERVABILITY.md;
+- ``obs-bench`` — measure what full observability costs the inference hot
+  path and gate it at the <= 3% ceiling against the committed
+  ``BENCH_obs.json`` baseline (see docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -306,6 +314,150 @@ def _cmd_trainfast_bench(args: argparse.Namespace) -> int:
     return 0 if not failures else 3
 
 
+def _cmd_slo(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core.config import XsecConfig
+    from repro.experiments.testbed import LiveTestbedConfig, run_live_testbed
+    from repro.slo.exporter import render_openmetrics
+    from repro.slo.settings import SloSettings
+
+    settings = SloSettings.full(export_path=args.jsonl)
+    run = run_live_testbed(
+        LiveTestbedConfig(
+            xsec=XsecConfig(auto_release=True, auto_blocklist=True, slo=settings),
+            live_duration_s=args.duration,
+        )
+    )
+    xsec = run.xsec
+    slo = xsec.slo
+    store = xsec.mobiwatch.provenance
+    incidents = xsec.pipeline.incidents
+    status = 0
+    try:
+        if args.action == "report":
+            print(slo.engine.render())
+            # Evaluated at sim end: the testbed drains ~20s past the last
+            # traffic, so idle components legitimately read stale/down.
+            print("\ncomponent health (at sim end, after the drain tail):")
+            statuses = slo.scoreboard.statuses()
+            if statuses:
+                for name, state in sorted(statuses.items()):
+                    print(f"  {name:<28} {state}")
+            else:
+                print("  (no components registered)")
+            print(
+                f"\n{len(store)} provenance records minted, "
+                f"{len(incidents)} incidents closed, "
+                f"{len(slo.engine.events)} alert transitions "
+                f"(see `slo alerts`)"
+            )
+        elif args.action == "alerts":
+            print(slo.engine.render_alerts())
+        elif args.action == "profile":
+            print(slo.profiler.render())
+        else:  # explain
+            provenance_id = args.verdict
+            if provenance_id is None:
+                # Default to the newest incident whose provenance chain is
+                # complete (a cooldown-suppressed anomaly never receives a
+                # verdict, so its chain legitimately ends "(pending)").
+                candidates = [
+                    i.anomaly.provenance_id
+                    for i in incidents
+                    if i.anomaly.provenance_id is not None
+                ]
+                complete = [
+                    pid
+                    for pid in candidates
+                    if store.get(pid) is not None
+                    and store.get(pid).verdict_completed_at is not None
+                ]
+                if complete:
+                    provenance_id = complete[-1]
+                elif candidates:
+                    provenance_id = candidates[-1]
+            record = store.get(provenance_id)
+            if record is None:
+                known = ", ".join(str(p) for p in sorted(store._records)) or "none"
+                print(
+                    f"no provenance record {provenance_id!r} (known ids: {known})",
+                    file=sys.stderr,
+                )
+                status = 1
+            else:
+                print(record.render())
+        if args.openmetrics:
+            with open(args.openmetrics, "w", encoding="utf-8") as fh:
+                fh.write(render_openmetrics(xsec.obs.metrics))
+            print(f"openmetrics dump -> {args.openmetrics}")
+        if args.jsonl:
+            print(f"metric snapshots (JSONL) -> {args.jsonl}")
+        if args.stacks:
+            with open(args.stacks, "w", encoding="utf-8") as fh:
+                stacks = slo.collapsed_stacks()
+                fh.write(stacks + ("\n" if stacks and not stacks.endswith("\n") else ""))
+            print(f"collapsed flamegraph stacks -> {args.stacks}")
+        if args.json:
+            payload = {
+                "objectives": slo.engine.report(),
+                "alerts": [
+                    {
+                        "time_s": e.time_s,
+                        "objective": e.objective,
+                        "to_state": e.to_state,
+                        "fast_burn": e.fast_burn,
+                        "slow_burn": e.slow_burn,
+                    }
+                    for e in slo.engine.events
+                ],
+                "health": slo.scoreboard.statuses(),
+                "profile": slo.profiler.stage_table(),
+                "provenance_records": len(store),
+                "incidents": len(incidents),
+                "summary": run.summary,
+            }
+            with open(args.json, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, indent=2, sort_keys=True)
+            print(f"slo snapshot -> {args.json}")
+    finally:
+        slo.shutdown()
+    return status
+
+
+def _cmd_obs_bench(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.slo.bench import (
+        load_baseline,
+        run_bench,
+        save_result,
+        violations,
+    )
+
+    # The committed baseline lives at the repo root next to src/.
+    default_baseline = Path(__file__).resolve().parents[2] / "BENCH_obs.json"
+    baseline_path = Path(args.baseline) if args.baseline else default_baseline
+    result = run_bench(quick=args.quick)
+    print(result.report())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(result.to_dict(), fh, indent=2, sort_keys=True)
+        print(f"obs-bench snapshot -> {args.json}")
+    if args.update_baseline:
+        save_result(result, baseline_path)
+        print(f"baseline updated -> {baseline_path}")
+        return 0
+    baseline = load_baseline(baseline_path)
+    if baseline is None:
+        print(f"(no committed baseline at {baseline_path}; gating on the ceiling only)")
+    failures = violations(result, baseline)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 0 if not failures else 3
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="6G-XSec reproduction command line"
@@ -416,6 +568,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="rewrite the baseline from this run instead of gating against it",
     )
     trainfast_bench.set_defaults(func=_cmd_trainfast_bench)
+
+    slo = commands.add_parser(
+        "slo",
+        help="run the live testbed fully observed; report SLO attainment, "
+        "alerts, profiles, or one verdict's evidence chain",
+    )
+    slo.add_argument(
+        "action",
+        choices=("report", "alerts", "profile", "explain"),
+        help="what to render after the run",
+    )
+    slo.add_argument(
+        "verdict",
+        type=int,
+        nargs="?",
+        help="provenance id for `explain` (default: the latest incident)",
+    )
+    slo.add_argument(
+        "--duration", type=float, default=60.0, help="live traffic duration (sim s)"
+    )
+    slo.add_argument("--openmetrics", help="write the OpenMetrics exposition here")
+    slo.add_argument(
+        "--jsonl", help="write the continuous metric snapshots here (.jsonl)"
+    )
+    slo.add_argument(
+        "--stacks", help="write collapsed flamegraph stacks here (.txt)"
+    )
+    slo.add_argument("--json", help="write the machine-readable snapshot here")
+    slo.set_defaults(func=_cmd_slo)
+
+    obs_bench = commands.add_parser(
+        "obs-bench",
+        help="measure full-observability overhead on the inference hot path; "
+        "gate at the <= 3%% ceiling vs BENCH_obs.json",
+    )
+    obs_bench.add_argument(
+        "--quick", action="store_true", help="small CI run (fewer records/passes)"
+    )
+    obs_bench.add_argument("--json", help="write the machine-readable result here")
+    obs_bench.add_argument(
+        "--baseline", help="baseline file (default: BENCH_obs.json at repo root)"
+    )
+    obs_bench.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from this run instead of gating against it",
+    )
+    obs_bench.set_defaults(func=_cmd_obs_bench)
     return parser
 
 

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 
 from repro.hotpath.settings import HotpathSettings
 from repro.scale.settings import ScaleSettings
+from repro.slo.settings import SloSettings
 from repro.telemetry.features import FeatureSpec
 from repro.trainfast.settings import TrainfastSettings
 
@@ -68,3 +69,9 @@ class XsecConfig:
     # Defaults preserve the seed training path bit-for-bit (see
     # docs/PERFORMANCE.md, "Training fast path").
     trainfast: TrainfastSettings = field(default_factory=TrainfastSettings)
+
+    # SLO/observability plane (repro.slo): burn-rate alerting over
+    # declarative objectives, continuous profiling, OpenMetrics/JSONL
+    # export, verdict provenance. Defaults keep every output bit-identical
+    # to the seed (see docs/OBSERVABILITY.md).
+    slo: SloSettings = field(default_factory=SloSettings)

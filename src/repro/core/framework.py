@@ -32,6 +32,7 @@ from repro.oran.ric import NearRtRic
 from repro.oran.smo import Smo
 from repro.ran.links import InterfaceLink
 from repro.ran.network import FiveGNetwork, NetworkConfig
+from repro.slo.runtime import SloRuntime
 
 
 def build_detector(config: XsecConfig) -> AnomalyDetector:
@@ -82,6 +83,27 @@ class SixGXSec:
         )
         self.pipeline = ClosedLoopPipeline(self.mobiwatch, self.analyzer, self.config)
         self.smo = Smo(self.ric)
+        # repro.slo: the observability plane (SLO engine, profilers,
+        # exporter, health scoreboard). None when every slo switch is off,
+        # so the seed path constructs nothing new.
+        self.slo: Optional[SloRuntime] = None
+        if self.config.slo.any_enabled:
+            self.slo = SloRuntime(
+                self.config.slo,
+                self.obs.metrics,
+                clock=lambda: self.net.sim.now,
+            )
+            # MobiWatch minted the store (it owns the SDL handle); the
+            # runtime exposes it so `slo explain` has one entry point.
+            self.slo.provenance = self.mobiwatch.provenance
+            if self.slo.scoreboard is not None:
+                sdl = self.ric.sdl
+                if hasattr(sdl, "shard_names"):
+                    self.slo.scoreboard.watch_sharded_sdl(sdl)
+                if self.mobiwatch.pool is not None:
+                    self.slo.scoreboard.watch_pool(
+                        self.mobiwatch.pool, name=self.mobiwatch.name
+                    )
         self._started = False
 
     @property
@@ -133,6 +155,10 @@ class SixGXSec:
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
         self.start()
+        if self.slo is not None:
+            self.slo.schedule_ticks(self.net.sim, until)
         processed = self.net.run(until=until, max_events=max_events)
         self.pipeline.poll_anomalies()
+        if self.slo is not None:
+            self.slo.finalize()
         return processed

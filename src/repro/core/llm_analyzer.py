@@ -20,6 +20,7 @@ from repro.llm.analyst import ExpertAnalyst, ExpertVerdict
 from repro.llm.client import LlmClient, SimulatedLlmServer
 from repro.obs.metrics import WallTimer
 from repro.oran.xapp import XApp
+from repro.slo import profiler as _profiler
 
 SDL_VERDICT_NS = "xsec.verdicts"
 
@@ -91,6 +92,15 @@ class LlmAnalyzerXApp(XApp):
         self._review_counter = metrics.counter(
             "llm.human_review_total", help="contradictions escalated to humans"
         )
+        # repro.slo liveness heartbeat (gated so the disabled path creates
+        # no new metric series).
+        self._heartbeat_gauge = None
+        if self.config.slo.enabled:
+            self._heartbeat_gauge = metrics.gauge(
+                "health.heartbeat_ts",
+                labels={"component": self.name},
+                help="sim time of the component's last heartbeat",
+            )
 
     def start(self) -> None:
         super().start()
@@ -111,6 +121,8 @@ class LlmAnalyzerXApp(XApp):
     # -- analysis -----------------------------------------------------------------
 
     def _on_anomaly(self, event: AnomalyEvent) -> None:
+        if self._heartbeat_gauge is not None:
+            self._heartbeat_gauge.set(self.now)
         # MobiWatch is the pre-filter; the LLM is rate-limited per session
         # because each query is expensive (§3.3).
         last = self._session_last_query.get(event.session_id)
@@ -134,7 +146,7 @@ class LlmAnalyzerXApp(XApp):
         )
 
     def _complete(self, event: AnomalyEvent, records) -> None:
-        with WallTimer(self._analyze_wall):
+        with _profiler.profile_block("llm.analyze"), WallTimer(self._analyze_wall):
             verdict = self.analyst.analyze(records, detector_flagged=True)
         result = VerdictEvent(anomaly=event, verdict=verdict, completed_at=self.now)
         self.verdicts.append(result)
@@ -161,6 +173,20 @@ class LlmAnalyzerXApp(XApp):
                 "completed_at": result.completed_at,
             },
         )
+        store = getattr(self.mobiwatch, "provenance", None)
+        if store is not None:
+            store.attach_verdict(
+                event.provenance_id,
+                model=verdict.model,
+                verdict_text=verdict.response.verdict,
+                top_attack=(
+                    verdict.response.top_attacks[0][0]
+                    if verdict.response.top_attacks
+                    else ""
+                ),
+                confirmed=result.confirmed,
+                completed_at=result.completed_at,
+            )
         if result.needs_human_review:
             # Contradictory results require human supervision (§3.3).
             self.human_review_queue.append(result)

@@ -36,6 +36,8 @@ from repro.oran.e2sm_kpm import (
 from repro.oran.xapp import XApp
 from repro.scale.pool import InferencePool
 from repro.scale.sharded_sdl import ShardedSdl
+from repro.slo import profiler as _profiler
+from repro.slo.provenance import ProvenanceStore
 from repro.telemetry.mobiflow import MobiFlowRecord, TelemetrySeries
 
 # RMR message type for anomaly events toward the analyzer xApp.
@@ -59,6 +61,8 @@ class AnomalyEvent:
     record_indices: tuple
     # Timestamp of the newest telemetry entry in the window.
     newest_record_ts: float = 0.0
+    # Evidence chain id (repro.slo provenance); None when slo is disabled.
+    provenance_id: Optional[int] = None
 
 
 class MobiWatchXApp(XApp):
@@ -124,6 +128,19 @@ class MobiWatchXApp(XApp):
                 service_time_per_window_s=self.config.scale.pool_service_time_s,
                 metrics=metrics,
                 clock=lambda: self.sim.now,
+                name=self.name,
+            )
+        # repro.slo: provenance minting + liveness heartbeat. Both gated on
+        # slo.enabled so the disabled path creates no new metric series.
+        self.provenance: Optional[ProvenanceStore] = None
+        self._heartbeat_gauge = None
+        self._scoring_path = "seed"
+        if self.config.slo.enabled:
+            self.provenance = ProvenanceStore(metrics=metrics, sdl=self.sdl)
+            self._heartbeat_gauge = metrics.gauge(
+                "health.heartbeat_ts",
+                labels={"component": self.name},
+                help="sim time of the component's last heartbeat",
             )
 
     # -- lifecycle -----------------------------------------------------------
@@ -147,7 +164,9 @@ class MobiWatchXApp(XApp):
         self._incremental = None
         if hotpath.incremental:
             if isinstance(detector, LstmDetector):
-                self._incremental = IncrementalLstmScorer(detector, hotpath)
+                self._incremental = IncrementalLstmScorer(
+                    detector, hotpath, metrics=self.sim.obs.metrics
+                )
                 # Sessions may already hold telemetry: replay their rows so
                 # the carried state matches record-by-record ingest.
                 for session_id in self._arena.session_ids():
@@ -159,6 +178,18 @@ class MobiWatchXApp(XApp):
                     "hotpath.incremental ignored: carried-state scoring "
                     f"needs the LSTM detector, got {detector.name}"
                 )
+        # Provenance names the runtime that produced each score, since the
+        # fast paths carry documented tolerances (docs/PERFORMANCE.md).
+        parts = []
+        if self._incremental is not None:
+            parts.append(
+                f"incremental-{hotpath.incremental_mode}-{hotpath.incremental_dtype}"
+            )
+        elif hotpath.compiled:
+            parts.append(f"compiled-{hotpath.dtype}")
+        if self.pool is not None and self._incremental is None:
+            parts.append(f"pool-{self.config.scale.pool_workers}w")
+        self._scoring_path = "+".join(parts) if parts else "seed"
         self.log(
             "detector deployed",
             detector=detector.name,
@@ -181,9 +212,17 @@ class MobiWatchXApp(XApp):
     # -- telemetry ingestion -------------------------------------------------------
 
     def on_indication(self, indication: RicIndication) -> None:
+        # Stage boundary for the slo profiler: ingest covers decode + SDL
+        # writes + featurization; scoring shows up under its own blocks.
+        with _profiler.profile_block("mobiwatch.ingest"):
+            self._on_indication(indication)
+
+    def _on_indication(self, indication: RicIndication) -> None:
         records = MobiFlowKpmModel.decode_indication(
             indication.indication_header, indication.indication_message
         )
+        if self._heartbeat_gauge is not None:
+            self._heartbeat_gauge.set(self.now)
         touched: list[int] = []
         for record in records:
             index = len(self.series)
@@ -295,7 +334,7 @@ class MobiWatchXApp(XApp):
             )
             return
         vector = rows.reshape(1, -1)
-        with WallTimer(self._inference_wall):
+        with _profiler.profile_block("mobiwatch.score"), WallTimer(self._inference_wall):
             score = float(self.detector.scores(vector)[0])
         self._handle_score(session_id, len(indices), chosen, score, self.now)
 
@@ -320,6 +359,20 @@ class MobiWatchXApp(XApp):
         self._alerted_counts[session_id] = record_count
         newest = self.series[chosen[-1]]
         self._detection_latency.observe(max(0.0, detected_at - newest.timestamp))
+        provenance_id = None
+        if self.provenance is not None:
+            prov = self.provenance.mint(
+                session_id=session_id,
+                detected_at=detected_at,
+                score=score,
+                threshold=threshold,
+                record_indices=tuple(chosen),
+                records=[self.series[i] for i in chosen],
+                detector=self.detector,
+                scoring_path=self._scoring_path,
+                arrival_ts=self.arrival_time(chosen[-1]),
+            )
+            provenance_id = prov.provenance_id
         event = AnomalyEvent(
             detected_at=detected_at,
             session_id=session_id,
@@ -329,6 +382,7 @@ class MobiWatchXApp(XApp):
             threshold=threshold,
             record_indices=tuple(chosen),
             newest_record_ts=newest.timestamp,
+            provenance_id=provenance_id,
         )
         self.anomalies.append(event)
         self._anomaly_counter.inc()

@@ -130,6 +130,14 @@ class ClosedLoopPipeline:
             incident.action_at = self.mobiwatch.now
             self.actions_taken.append(("release_ue", {"rnti": anomaly.rnti}))
             self._count_action("release_ue")
+        if incident.action:
+            store = getattr(self.mobiwatch, "provenance", None)
+            if store is not None:
+                store.attach_action(
+                    anomaly.provenance_id,
+                    action=incident.action,
+                    action_at=incident.action_at,
+                )
 
     # -- reporting ------------------------------------------------------------------
 

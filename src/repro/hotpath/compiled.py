@@ -23,9 +23,12 @@ this reason).
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
 import numpy as np
+
+from repro.slo import profiler as _profiler
 
 
 def _as_dtype(dtype: str) -> np.dtype:
@@ -320,6 +323,22 @@ class CompiledModel:
             self._kind = "lstm"
         else:
             raise TypeError(f"cannot compile {type(detector).__name__}")
+        self._calls_counter = None
+        self._windows_counter = None
+
+    def attach_metrics(self, metrics) -> None:
+        """Wire repro.obs counters (one series per model kind + dtype)."""
+        labels = {"model": self._kind, "dtype": self.dtype}
+        self._calls_counter = metrics.counter(
+            "hotpath.compiled_calls_total",
+            labels=labels,
+            help="fused-kernel scoring calls",
+        )
+        self._windows_counter = metrics.counter(
+            "hotpath.compiled_windows_total",
+            labels=labels,
+            help="windows scored through fused kernels",
+        )
 
     @property
     def kind(self) -> str:
@@ -332,6 +351,19 @@ class CompiledModel:
         return self._impl
 
     def scores(self, windows: np.ndarray) -> np.ndarray:
+        counter = self._calls_counter
+        if counter is not None:
+            counter.value += 1
+            self._windows_counter.value += len(windows)
+        prof = _profiler.CURRENT
+        if prof is not None:
+            start = time.perf_counter()
+            result = self._scores(windows)
+            prof.record("hotpath.compiled.scores", time.perf_counter() - start)
+            return result
+        return self._scores(windows)
+
+    def _scores(self, windows: np.ndarray) -> np.ndarray:
         if self._kind == "autoencoder":
             return self._impl.scores(windows)
         return self._impl.window_scores(windows, self.window)

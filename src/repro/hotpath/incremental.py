@@ -32,12 +32,20 @@ Equality contract (enforced by tests and the ``self_check`` mode):
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Iterable, Optional
 
 import numpy as np
 
 from repro.hotpath.compiled import CompiledLstm
 from repro.hotpath.settings import HotpathSettings
+from repro.slo import profiler as _profiler
+
+# Active-profiler sampling stride on the per-record scoring path: one call
+# in this many is timed and extrapolated (repro.slo.profiler.record). The
+# stride keeps the skip path to one attribute update; at fleet record
+# rates even 1-in-128 yields dozens of samples per second.
+_PROFILE_SAMPLE = 128
 
 
 class _SessionState:
@@ -58,7 +66,9 @@ class ScoreMismatch(RuntimeError):
 class IncrementalLstmScorer:
     """Carried-state scorer for a fitted :class:`LstmDetector`."""
 
-    def __init__(self, detector, settings: Optional[HotpathSettings] = None) -> None:
+    def __init__(
+        self, detector, settings: Optional[HotpathSettings] = None, metrics=None
+    ) -> None:
         from repro.ml.detector import LstmDetector
 
         if not isinstance(detector, LstmDetector):
@@ -76,6 +86,26 @@ class IncrementalLstmScorer:
         self._core = CompiledLstm(self.model, str(self.dtype))
         self._sessions: Dict[int, _SessionState] = {}
         self.self_checks_passed = 0
+        # Optional repro.obs counters. push() is the hottest per-record
+        # call in the deployment, so the increment is inlined on the raw
+        # counter value (no method dispatch) and skipped when unwired.
+        self._steps_counter = None
+        self._scores_counter = None
+        self._prof_skip = _PROFILE_SAMPLE
+        if metrics is not None:
+            self._steps_counter = metrics.counter(
+                "hotpath.incremental_steps_total",
+                help="fused LSTM steps (one per ingested record)",
+            )
+            self._scores_counter = metrics.counter(
+                "hotpath.incremental_window_scores_total",
+                help="O(1) carried-state window scores",
+            )
+            metrics.gauge(
+                "hotpath.incremental_sessions",
+                fn=lambda: float(len(self._sessions)),
+                help="sessions with carried LSTM state",
+            )
 
     # -- cached fast path --------------------------------------------------------
 
@@ -88,6 +118,9 @@ class IncrementalLstmScorer:
         """
         if self.mode == "replay":
             return 0.0
+        counter = self._steps_counter
+        if counter is not None:
+            counter.value += 1
         state = self._sessions.get(session_id)
         if state is None:
             h, c = self._core.new_state()
@@ -129,6 +162,26 @@ class IncrementalLstmScorer:
         arena view); required in ``replay`` mode and under ``self_check``,
         ignored otherwise.
         """
+        # Sampled profiling: this runs once per record at fleet rate, so an
+        # active profiler times one call in _PROFILE_SAMPLE and reports the
+        # extrapolated total; every other call pays one decrement.
+        prof = _profiler.CURRENT
+        if prof is not None:
+            skip = self._prof_skip - 1
+            if skip <= 0:
+                self._prof_skip = _PROFILE_SAMPLE
+                start = time.perf_counter()
+                score = self._window_score(session_id, rows)
+                prof.record(
+                    "hotpath.window_score",
+                    (time.perf_counter() - start) * _PROFILE_SAMPLE,
+                    calls=_PROFILE_SAMPLE,
+                )
+                return score
+            self._prof_skip = skip
+        return self._window_score(session_id, rows)
+
+    def _window_score(self, session_id: int, rows: Optional[np.ndarray]) -> float:
         if self.mode == "replay":
             if rows is None:
                 raise ValueError("replay mode needs the session rows")
@@ -140,6 +193,9 @@ class IncrementalLstmScorer:
         if state is None or not state.errors:
             raise KeyError(f"no records pushed for session {session_id}")
         score = max(state.errors[-self.window :])
+        counter = self._scores_counter
+        if counter is not None:
+            counter.value += 1
         if self.self_check:
             self._verify(session_id, state, score, rows)
         return score

@@ -71,6 +71,8 @@ class AnomalyDetector(abc.ABC):
         from repro.hotpath.compiled import compile_detector
 
         self._compiled = compile_detector(self, dtype)
+        if self.metrics is not None:
+            self._compiled.attach_metrics(self.metrics)
         return self._compiled
 
     @property

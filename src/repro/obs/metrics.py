@@ -139,6 +139,18 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def count_under(self, threshold: float) -> int:
+        """Observations known to be ``<= threshold`` from the ``le`` buckets.
+
+        Exact when ``threshold`` is a bucket boundary; otherwise the count
+        is conservative (the partial bucket straddling the threshold is
+        excluded). This is the "good events" side of a latency SLI.
+        """
+        idx = bisect_left(self.buckets, threshold)
+        if idx < len(self.buckets) and self.buckets[idx] == threshold:
+            idx += 1
+        return sum(self.bucket_counts[:idx])
+
     def percentile(self, p: float) -> Optional[float]:
         """Approximate percentile (exact until the reservoir wraps)."""
         if not self._reservoir:
@@ -248,6 +260,35 @@ class MetricsRegistry:
 
     def names(self) -> list[str]:
         return sorted(self._families)
+
+    def family_kind(self, name: str) -> Optional[str]:
+        """The family's instrument kind, or ``None`` if it doesn't exist."""
+        family = self._families.get(name)
+        return family.kind if family is not None else None
+
+    def family_series(self, name: str) -> list:
+        """``(labels dict, instrument)`` pairs of a family (empty if absent).
+
+        Read-only introspection for consumers that aggregate across the
+        labeled series of one family (the SLO engine, the OpenMetrics
+        exporter) without creating series as the accessors would.
+        """
+        family = self._families.get(name)
+        if family is None:
+            return []
+        return [(dict(key), series) for key, series in sorted(family.series.items())]
+
+    def families(self) -> list:
+        """``(name, kind, help, [(labels, instrument), ...])`` per family."""
+        return [
+            (
+                name,
+                family.kind,
+                family.help,
+                [(dict(key), series) for key, series in sorted(family.series.items())],
+            )
+            for name, family in sorted(self._families.items())
+        ]
 
     # -- export ---------------------------------------------------------------
 

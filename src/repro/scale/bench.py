@@ -346,6 +346,7 @@ def _run_trial(
         service_time_per_window_s=config.pool_service_time_s,
         metrics=metrics,
         clock=lambda: sim.now,
+        name="scale-bench",
     )
     latencies: list[float] = []
     acked: list[tuple[str, str]] = []  # (key, shard_key) acknowledged by the SDL

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.obs.metrics import MetricsRegistry, WallTimer
 from repro.scale.hashring import ConsistentHashRing
+from repro.slo import profiler as _profiler
 
 # callback(score, completed_at_sim_s)
 ScoreCallback = Callable[[float, float], None]
@@ -40,6 +41,7 @@ class InferencePool:
         service_time_per_window_s: float = 0.0,
         metrics: Optional[MetricsRegistry] = None,
         clock: Optional[Callable[[], float]] = None,
+        name: str = "pool",
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -63,33 +65,60 @@ class InferencePool:
         self._batch_buf: Optional[np.ndarray] = None
         self.windows_scored = 0
         self.batches = 0
+        self.name = name
         metrics = metrics or MetricsRegistry()
+        # Every series carries a {pool=...} label so multiple pools (the
+        # deployment's and a bench's) share one registry without colliding.
+        pool_label = {"pool": name}
         self._batches_counter = metrics.counter(
-            "pool.batches_total", help="vectorized detector calls"
+            "pool.batches_total", labels=pool_label, help="vectorized detector calls"
         )
         self._windows_hist = metrics.histogram(
             "pool.windows_per_batch",
+            labels=pool_label,
             buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256, 512),
             help="windows scored per detector call",
         )
         self._wall_hist = metrics.histogram(
-            "pool.inference_wall_s", help="wall-clock cost per vectorized call"
+            "pool.inference_wall_s",
+            labels=pool_label,
+            help="wall-clock cost per vectorized call",
         )
         self._worker_counters = {
-            name: metrics.counter("pool.worker_windows_total", labels={"worker": name})
-            for name in self._worker_names
+            worker: metrics.counter(
+                "pool.worker_windows_total", labels={"pool": name, "worker": worker}
+            )
+            for worker in self._worker_names
         }
         metrics.gauge(
-            "pool.pending_windows", fn=lambda: len(self._pending), help="queued requests"
+            "pool.queue_depth",
+            labels=pool_label,
+            fn=lambda: len(self._pending),
+            help="queued window-scoring requests",
         )
+        for worker in self._worker_names:
+            metrics.gauge(
+                "pool.worker_backlog",
+                labels={"pool": name, "worker": worker},
+                fn=lambda w=worker: float(self.worker_backlog(w)),
+                help="queued requests assigned to the worker",
+            )
 
     @property
     def workers(self) -> int:
         return len(self._worker_names)
 
     @property
+    def worker_names(self) -> List[str]:
+        return list(self._worker_names)
+
+    @property
     def pending(self) -> int:
         return len(self._pending)
+
+    def worker_backlog(self, worker: str) -> int:
+        """Pending requests assigned to one worker (health-probe input)."""
+        return sum(1 for entry in self._pending if entry[0] == worker)
 
     def worker_for(self, session_id: Any) -> str:
         """Deterministic worker assignment (UE/session sharding)."""
@@ -107,6 +136,10 @@ class InferencePool:
         """Score every pending window, one detector call per worker."""
         if not self._pending:
             return 0
+        with _profiler.profile_block("pool.flush"):
+            return self._flush()
+
+    def _flush(self) -> int:
         pending, self._pending = self._pending, []
         groups: dict[str, list[int]] = {}
         for index, (worker, _, _, _) in enumerate(pending):

@@ -36,6 +36,7 @@ from typing import Any, Callable, Iterator, List, Optional
 from repro import wire
 from repro.obs.metrics import MetricsRegistry
 from repro.scale.hashring import ConsistentHashRing
+from repro.slo import profiler as _profiler
 
 WatchCallback = Callable[[str, str, Any], None]  # (namespace, key, value)
 
@@ -216,7 +217,13 @@ class ShardedSdl:
                 callback(namespace, key, value)
             except Exception:
                 self._watch_errors.inc()
-        self._write_wall.observe(time.perf_counter() - start_wall)
+        elapsed = time.perf_counter() - start_wall
+        self._write_wall.observe(elapsed)
+        prof = _profiler.CURRENT
+        if prof is not None:
+            # Leaf timing via record(): the per-write cost is already
+            # measured, so the profiler pays no extra perf_counter calls.
+            prof.record("sdl.set", elapsed)
         return completed
 
     def get(

@@ -1,0 +1,412 @@
+"""Observability-overhead benchmark: the price of watching the hot path.
+
+The whole point of ``repro.slo`` is that you can leave it on: the SLO
+engine, the counters/heartbeats, the profiler hooks and the export plane
+must cost the hot path almost nothing. This bench proves it by splitting
+the fully-observed cost into its two very different components and gating
+their sum at :data:`OVERHEAD_MAX_PCT` (the PR's <= 3% contract):
+
+- **per-record hook overhead** — the inline counters and the sampled
+  profiler hook inside
+  :class:`~repro.hotpath.incremental.IncrementalLstmScorer`. A ~100ns
+  delta on a ~25us record is far below shared-runner wall-clock noise at
+  stream scale (identical back-to-back streams here differ by several
+  percent), so the delta is measured where this machine *is* stable:
+  paired best-of tight loops on **one scorer object** calling
+  ``window_score`` against a static session, with the instrumentation
+  toggled between sides (the toggled-off state *is* the seed code path,
+  an ``is None`` branch). One object means no allocation/alignment luck;
+  a static session means the loop body is a pure read path, so the
+  plain/observed difference is exactly the hook work (scores counter inc
+  + profiler branch + the 1-in-N sampled timing, amortized naturally by
+  the loop). The ``push``-side hook is one inlined counter increment,
+  priced from the micro table. The noisy end-to-end stream only supplies
+  the *denominator* (plain us/record, best-of chunk floors), where even
+  +-10% noise moves the gate by ~0.1 points.
+- **amortized plane overhead** — the per-chunk/per-cadence work (latency
+  histogram observe, :class:`~repro.slo.objectives.SloEngine` tick,
+  :func:`~repro.slo.exporter.render_openmetrics`). Deterministic counts
+  times micro-benchmarked per-call costs, divided across the records of
+  one cadence interval — exact attribution instead of asking a noisy
+  end-to-end delta to resolve tens of ns.
+
+The run also re-verifies the zero-interference contract: the observed
+scorer's per-record errors must be **bit-identical** to the plain
+scorer's.
+
+Gating mirrors the other benches: hard ceiling first, then drift against
+the committed ``BENCH_obs.json`` baseline with an additive slack (overhead
+is a noisy small number; a ratio gate would flap).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.hotpath.incremental import IncrementalLstmScorer
+from repro.hotpath.settings import HotpathSettings
+from repro.obs.metrics import MetricsRegistry
+from repro.slo import profiler as _profiler
+from repro.slo.exporter import render_openmetrics
+from repro.slo.objectives import SloEngine, SloObjective
+from repro.slo.profiler import Profiler
+from repro.slo.settings import SloSettings
+
+# Hard ceiling on the fully-observed hot path slowdown (the PR gate).
+OVERHEAD_MAX_PCT = 3.0
+# A fresh run may sit this many percentage points above the committed
+# baseline's measured overhead before we call it creep (absolute slack:
+# overhead is a small noisy number, a ratio gate would flap near zero).
+BASELINE_SLACK_PCT = 2.0
+
+_LATENCY_BUCKETS = (1e-4, 5e-4, 1e-3, 5e-3, 0.01, 0.05, 0.1, 0.5, 1.0)
+
+
+@dataclass
+class ObsBenchConfig:
+    window: int = 6
+    feature_dim: int = 71
+    lstm_hidden_dim: int = 64
+    seed: int = 7
+    # Records per denominator pass, chunked so the plain-us floor is a
+    # min over many short (~3ms) timings rather than one long noisy one.
+    stream_records: int = 4000
+    chunk_records: int = 100
+    repeats: int = 5  # best-of repeats for every micro-timing loop
+    stream_passes: int = 3  # fresh-scorer passes pooled into the floor
+    # Calls per tight loop when measuring the window_score hook delta;
+    # alternating plain/observed loops this short stay within one machine
+    # state, which is what makes the ~100ns delta resolvable here.
+    hook_loop_calls: int = 500
+    hook_loop_rounds: int = 3  # alternations per side, min taken
+    # Plane cadences, in records: one histogram observe + one engine tick
+    # per `tick_every`, one OpenMetrics render per `export_every` (mirrors
+    # per-indication instrumentation + the sim-clock cadences of the live
+    # stack). The amortized plane overhead divides the micro-benchmarked
+    # per-call costs across these intervals.
+    tick_every: int = 500
+    export_every: int = 2000
+    # Micro-benchmark repetitions for the primitive cost table.
+    micro_reps: int = 2000
+
+    @classmethod
+    def quick(cls) -> "ObsBenchConfig":
+        return cls(stream_records=2000, repeats=3, stream_passes=3, micro_reps=400)
+
+
+@dataclass
+class ObsBenchResult:
+    per_record: dict = field(default_factory=dict)
+    primitives: dict = field(default_factory=dict)
+    equality: dict = field(default_factory=dict)
+    meta: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": 1,
+            "per_record": self.per_record,
+            "primitives": self.primitives,
+            "equality": self.equality,
+            "meta": self.meta,
+        }
+
+    def report(self) -> str:
+        lines = ["obs bench" + (" (quick)" if self.meta.get("quick") else "")]
+        p = self.per_record
+        lines.append(
+            f"  per-record hot path: plain {p['plain_us']:.2f}us; fully "
+            f"observed overhead {p['overhead_pct']:+.2f}% "
+            f"(hooks {p['hook_overhead_pct']:+.2f}% = {p['hook_ns']:.0f}ns, "
+            f"plane {p['plane_overhead_pct']:+.2f}%, "
+            f"ceiling {OVERHEAD_MAX_PCT:.1f}%)"
+        )
+        m = self.primitives
+        lines.append(
+            f"  primitives: hook inactive {m['hook_inactive_ns']:.0f}ns, "
+            f"active {m['hook_active_ns']:.0f}ns; counter inc "
+            f"{m['counter_inc_ns']:.0f}ns; histogram observe "
+            f"{m['histogram_observe_ns']:.0f}ns"
+        )
+        lines.append(
+            f"  planes: engine tick {m['engine_tick_us']:.1f}us "
+            f"({m['objectives']} objectives), openmetrics render "
+            f"{m['render_us']:.1f}us ({m['render_bytes']} bytes)"
+        )
+        eq = ", ".join(f"{k}={v}" for k, v in self.equality.items())
+        lines.append(f"  equality: {eq}")
+        return "\n".join(lines)
+
+
+def _best_of(repeats: int, run: Callable[[], float]) -> float:
+    """Best (minimum) measurement across repeats — noise-robust timing."""
+    return min(run() for _ in range(repeats))
+
+
+def _make_detector(cfg: ObsBenchConfig):
+    from repro.ml.detector import LstmDetector
+
+    return LstmDetector(
+        window=cfg.window,
+        feature_dim=cfg.feature_dim,
+        hidden_dim=cfg.lstm_hidden_dim,
+        seed=cfg.seed,
+    )
+
+
+def _bench_objectives() -> list:
+    """Objectives over the families the observed stream actually feeds."""
+    return [
+        SloObjective(
+            name="score-latency",
+            kind="latency",
+            target=0.99,
+            metric="mobiwatch.inference_wall_s",
+            threshold=0.01,
+        ),
+        SloObjective(
+            name="score-throughput",
+            kind="ratio",
+            target=0.999,
+            bad_metric="obsbench.slow_batches_total",
+            total_metric="hotpath.incremental_window_scores_total",
+        ),
+    ]
+
+
+def _bench_per_record(cfg: ObsBenchConfig, detector, result: ObsBenchResult) -> None:
+    rng = np.random.default_rng(cfg.seed)
+    rows = rng.normal(size=(cfg.stream_records, cfg.feature_dim)).astype(np.float32)
+    settings = HotpathSettings(incremental=True)
+    chunk = cfg.chunk_records
+
+    # -- denominator: plain per-record cost (seed code path, no metrics) --
+    def floor_pass() -> float:
+        scorer = IncrementalLstmScorer(detector, settings)
+        best = float("inf")
+        for start in range(0, cfg.stream_records, chunk):
+            block = rows[start : start + chunk]
+            t0 = time.perf_counter()
+            for row in block:
+                scorer.push(1, row)
+                scorer.window_score(1)
+            per_record = (time.perf_counter() - t0) / len(block)
+            if per_record < best:
+                best = per_record
+        return best
+
+    floor_pass()  # warm-up (BLAS thread spin-up, allocator)
+    plain_s = min(floor_pass() for _ in range(cfg.stream_passes))
+
+    # -- hook delta: paired tight loops on one scorer, static session ----
+    metrics = MetricsRegistry()
+    scorer = IncrementalLstmScorer(detector, settings, metrics=metrics)
+    wired = (scorer._steps_counter, scorer._scores_counter)
+    prof = Profiler()
+    for row in rows[:40]:
+        scorer.push(1, row)
+
+    def ws_loop(observed: bool) -> float:
+        """Best-of per-call time of window_score with hooks toggled.
+
+        Toggling the counters to None reproduces the seed code path bit
+        for bit (`if counter is not None` is the permanent guard) on the
+        very same object, and the session is static, so the loop body is
+        a pure read path: the plain/observed delta is exactly the hook
+        work, including the 1-in-N sampled profiler timing amortized
+        across the loop's calls.
+        """
+        if observed:
+            scorer._steps_counter, scorer._scores_counter = wired
+            _profiler.activate(prof)
+        else:
+            scorer._steps_counter = None
+            scorer._scores_counter = None
+        try:
+
+            def run() -> float:
+                t0 = time.perf_counter()
+                for _ in range(cfg.hook_loop_calls):
+                    scorer.window_score(1)
+                return (time.perf_counter() - t0) / cfg.hook_loop_calls
+
+            run()  # warm-up
+            return _best_of(cfg.repeats, run)
+        finally:
+            _profiler.deactivate()
+
+    plain_call = min(ws_loop(False) for _ in range(cfg.hook_loop_rounds))
+    observed_call = min(ws_loop(True) for _ in range(cfg.hook_loop_rounds))
+    plain_call = min(plain_call, ws_loop(False))  # bracket: plain sees the end too
+    ws_delta_s = max(0.0, observed_call - plain_call)
+
+    # Per record the hot path pays one push-side counter increment (priced
+    # from the micro table) plus the measured window_score-side delta.
+    m = result.primitives
+    hook_per_record_s = m["counter_inc_ns"] * 1e-9 + ws_delta_s
+    hook_pct = hook_per_record_s / plain_s * 100.0
+
+    # Amortized plane: deterministic per-cadence counts times the
+    # micro-benchmarked per-call costs from _bench_primitives.
+    plane_per_record_s = (
+        m["histogram_observe_ns"] * 1e-9 + m["engine_tick_us"] * 1e-6
+    ) / cfg.tick_every + (m["render_us"] * 1e-6) / cfg.export_every
+    plane_pct = plane_per_record_s / plain_s * 100.0
+
+    result.per_record = {
+        "plain_us": plain_s * 1e6,
+        "hook_ns": hook_per_record_s * 1e9,
+        "hook_overhead_pct": hook_pct,
+        "plane_overhead_pct": plane_pct,
+        "overhead_pct": hook_pct + plane_pct,
+        "floor_chunks": cfg.stream_passes * (cfg.stream_records // chunk),
+    }
+
+    # Zero-interference contract: full observability must not change one
+    # bit of the scores the detector produces.
+    plain_scorer = IncrementalLstmScorer(detector, settings)
+    metrics = MetricsRegistry()
+    observed_scorer = IncrementalLstmScorer(detector, settings, metrics=metrics)
+    prof = Profiler()
+    _profiler.activate(prof)
+    try:
+        for row in rows[: min(cfg.stream_records, 96)]:
+            plain_scorer.push(1, row)
+            observed_scorer.push(1, row)
+            observed_scorer.window_score(1)
+    finally:
+        _profiler.deactivate()
+    result.equality["observed_scores_exact"] = bool(
+        np.array_equal(plain_scorer.record_errors(1), observed_scorer.record_errors(1))
+    )
+
+
+def _bench_primitives(cfg: ObsBenchConfig, result: ObsBenchResult) -> None:
+    """Per-call cost of each observability primitive, for attribution."""
+    reps = cfg.micro_reps
+
+    def per_call(run_once: Callable[[], object]) -> float:
+        def run() -> float:
+            t0 = time.perf_counter()
+            for _ in range(reps):
+                run_once()
+            return (time.perf_counter() - t0) / reps
+
+        run()  # warm-up
+        return _best_of(cfg.repeats, run)
+
+    # profile_block: inactive = one global load + is-None check + a shared
+    # no-op context manager.
+    def hook() -> None:
+        with _profiler.profile_block("bench.block"):
+            pass
+
+    inactive_s = per_call(hook)
+    prof = Profiler()
+    _profiler.activate(prof)
+    try:
+        active_s = per_call(hook)
+    finally:
+        _profiler.deactivate()
+
+    metrics = MetricsRegistry()
+    counter = metrics.counter("obsbench.micro_total")
+
+    def inc() -> None:
+        counter.value += 1
+
+    counter_s = per_call(inc)
+    hist = metrics.histogram("mobiwatch.inference_wall_s", buckets=_LATENCY_BUCKETS)
+    hist_s = per_call(lambda: hist.observe(0.002))
+    metrics.counter("obsbench.slow_batches_total")
+    metrics.counter("hotpath.incremental_window_scores_total").value = reps
+
+    wall = [0.0]
+    engine = SloEngine(
+        metrics,
+        settings=SloSettings(enabled=True, eval_interval_s=0.05),
+        objectives=_bench_objectives(),
+        clock=lambda: wall[0],
+    )
+
+    def tick() -> None:
+        wall[0] += 0.05
+        engine.tick()
+
+    tick_s = per_call(tick)
+    rendered = render_openmetrics(metrics)
+    render_s = per_call(lambda: render_openmetrics(metrics))
+
+    result.primitives = {
+        "hook_inactive_ns": inactive_s * 1e9,
+        "hook_active_ns": active_s * 1e9,
+        "counter_inc_ns": counter_s * 1e9,
+        "histogram_observe_ns": hist_s * 1e9,
+        "engine_tick_us": tick_s * 1e6,
+        "objectives": len(engine.objectives),
+        "render_us": render_s * 1e6,
+        "render_bytes": len(rendered),
+    }
+    result.equality["openmetrics_terminated"] = rendered.endswith("# EOF\n")
+
+
+def run_bench(config: Optional[ObsBenchConfig] = None, quick: bool = False) -> ObsBenchResult:
+    """Measure the observed-vs-plain hot path and the primitive costs."""
+    cfg = config or (ObsBenchConfig.quick() if quick else ObsBenchConfig())
+    result = ObsBenchResult()
+    result.meta = {
+        "quick": quick,
+        "window": cfg.window,
+        "feature_dim": cfg.feature_dim,
+        "stream_records": cfg.stream_records,
+        "tick_every": cfg.tick_every,
+        "export_every": cfg.export_every,
+    }
+    detector = _make_detector(cfg)
+    _bench_primitives(cfg, result)  # first: per_record needs the plane costs
+    _bench_per_record(cfg, detector, result)
+    return result
+
+
+def violations(result: ObsBenchResult, baseline: Optional[dict] = None) -> list:
+    """Gate a result against the ceiling and the committed baseline."""
+    out: list = []
+    for key, ok in result.equality.items():
+        if not ok:
+            out.append(f"equality contract broken: {key}")
+    overhead = result.per_record.get("overhead_pct", float("inf"))
+    if overhead > OVERHEAD_MAX_PCT:
+        out.append(
+            f"observability overhead {overhead:+.2f}% above the "
+            f"{OVERHEAD_MAX_PCT:.1f}% ceiling"
+        )
+    if baseline:
+        committed = baseline.get("per_record", {}).get("overhead_pct")
+        if (
+            isinstance(committed, (int, float))
+            and overhead > committed + BASELINE_SLACK_PCT
+        ):
+            out.append(
+                f"overhead {overhead:+.2f}% crept more than "
+                f"{BASELINE_SLACK_PCT:.1f} points above the committed "
+                f"baseline {committed:+.2f}%"
+            )
+    return out
+
+
+def load_baseline(path) -> Optional[dict]:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def save_result(result: ObsBenchResult, path) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(result.to_dict(), fh, indent=2, sort_keys=True)
+        fh.write("\n")

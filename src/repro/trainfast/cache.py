@@ -76,7 +76,7 @@ class DatasetCache:
     the telemetry layer never imports this package.
     """
 
-    def __init__(self, cache_dir: Optional[str] = None) -> None:
+    def __init__(self, cache_dir: Optional[str] = None, metrics=None) -> None:
         self.cache_dir = Path(cache_dir) if cache_dir else None
         if self.cache_dir is not None:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
@@ -84,6 +84,30 @@ class DatasetCache:
         self._datasets: dict = {}
         self.hits = 0
         self.misses = 0
+        # Optional repro.obs mirror of the plain counters above.
+        self._hit_counter = None
+        self._miss_counter = None
+        if metrics is not None:
+            self.attach_metrics(metrics)
+
+    def attach_metrics(self, metrics) -> None:
+        """Mirror hit/miss counts into a repro.obs registry."""
+        self._hit_counter = metrics.counter(
+            "trainfast.cache_hits_total", help="dataset-cache hits"
+        )
+        self._miss_counter = metrics.counter(
+            "trainfast.cache_misses_total", help="dataset-cache misses (encodes)"
+        )
+
+    def _count_hit(self) -> None:
+        self.hits += 1
+        if self._hit_counter is not None:
+            self._hit_counter.inc()
+
+    def _count_miss(self) -> None:
+        self.misses += 1
+        if self._miss_counter is not None:
+            self._miss_counter.inc()
 
     # -- stats -------------------------------------------------------------
 
@@ -113,9 +137,9 @@ class DatasetCache:
             if matrix is not None:
                 self._matrices[key] = matrix
         if matrix is not None:
-            self.hits += 1
+            self._count_hit()
             return matrix
-        self.misses += 1
+        self._count_miss()
         matrix = spec.encode_series(series)
         matrix.setflags(write=False)
         self._matrices[key] = matrix
@@ -137,7 +161,7 @@ class DatasetCache:
         key = (digest, spec_key(spec), int(window), mode)
         dataset = self._datasets.get(key)
         if dataset is not None:
-            self.hits += 1
+            self._count_hit()
             return dataset
         per_record = self.record_matrix(series, spec, digest=digest)
         dataset = builder(series, spec, window, mode, per_record)

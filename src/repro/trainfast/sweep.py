@@ -28,8 +28,10 @@ Where ``fork`` is unavailable (non-POSIX platforms) or ``workers <= 1``,
 from __future__ import annotations
 
 import multiprocessing
+import time
 from typing import Callable, Optional, Sequence
 
+from repro.slo import profiler as _profiler
 from repro.trainfast.settings import TrainfastSettings
 
 # Closure slot inherited by forked workers (see SweepRunner.map). Holding
@@ -71,10 +73,25 @@ def _run_indexed(index: int):
 class SweepRunner:
     """Run ``fn`` over configurations, serially or across forked workers."""
 
-    def __init__(self, workers: int = 0) -> None:
+    def __init__(self, workers: int = 0, metrics=None) -> None:
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
         self.workers = workers
+        self._tasks_counter = None
+        self._sweep_wall = None
+        if metrics is not None:
+            self.attach_metrics(metrics)
+
+    def attach_metrics(self, metrics) -> None:
+        """Count sweep tasks / time sweeps in a repro.obs registry."""
+        self._tasks_counter = metrics.counter(
+            "trainfast.sweep_tasks_total", help="experiment configurations run"
+        )
+        self._sweep_wall = metrics.histogram(
+            "trainfast.sweep_wall_s",
+            buckets=(0.01, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0, 300.0),
+            help="whole-sweep wall clock per map() call",
+        )
 
     @classmethod
     def from_settings(cls, settings: Optional[TrainfastSettings]) -> "SweepRunner":
@@ -96,14 +113,23 @@ class SweepRunner:
         """
         global _FORK_TASK
         items = list(items)
-        workers = min(self.workers, len(items))
-        if workers <= 1 or not self.parallel_available:
-            return [fn(item) for item in items]
-        previous = _FORK_TASK
-        _FORK_TASK = (fn, items)
-        try:
-            context = multiprocessing.get_context("fork")
-            with context.Pool(processes=workers) as pool:
-                return pool.map(_run_indexed, range(len(items)), chunksize=1)
-        finally:
-            _FORK_TASK = previous
+        start = time.perf_counter()
+        with _profiler.profile_block("trainfast.sweep"):
+            workers = min(self.workers, len(items))
+            if workers <= 1 or not self.parallel_available:
+                results = [fn(item) for item in items]
+            else:
+                previous = _FORK_TASK
+                _FORK_TASK = (fn, items)
+                try:
+                    context = multiprocessing.get_context("fork")
+                    with context.Pool(processes=workers) as pool:
+                        results = pool.map(
+                            _run_indexed, range(len(items)), chunksize=1
+                        )
+                finally:
+                    _FORK_TASK = previous
+        if self._tasks_counter is not None:
+            self._tasks_counter.inc(len(items))
+            self._sweep_wall.observe(time.perf_counter() - start)
+        return results

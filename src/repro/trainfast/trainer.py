@@ -42,6 +42,7 @@ Like :mod:`repro.hotpath.compiled`, trainers take a ``dtype``:
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
 import numpy as np
@@ -49,6 +50,7 @@ import numpy as np
 from repro.ml.autoencoder import Autoencoder, TrainReport
 from repro.ml.lstm import LstmPredictor
 from repro.ml.training import TrainConfig, TrainHistory
+from repro.slo import profiler as _profiler
 
 try:  # BLAS axpy (y += a*x in one pass, no temporary) for the f32 Adam
     from scipy.linalg.blas import saxpy as _saxpy
@@ -257,6 +259,13 @@ class CompiledAutoencoderTrainer:
         self._gins: list[np.ndarray] = []
         self._diff: Optional[np.ndarray] = None
         self._sq: Optional[np.ndarray] = None
+        self.epoch_wall_hist = None
+
+    def attach_metrics(self, metrics) -> None:
+        """Route per-epoch wall-clock cost into a repro.obs registry."""
+        self.epoch_wall_hist = metrics.histogram(
+            "trainfast.epoch_wall_s", help="compiled-trainer epoch wall clock"
+        )
 
     def _ensure(self, rows: int) -> None:
         if rows <= self._capacity:
@@ -337,7 +346,8 @@ class CompiledAutoencoderTrainer:
             raise ValueError("cannot train on an empty dataset")
         rng = rng if rng is not None else self.model._shuffle_rng
         report = TrainReport()
-        report.epoch_losses = _run_epochs_2d(self, x, x, epochs, batch_size, lr, rng)
+        with _profiler.profile_block("trainfast.fit.autoencoder"):
+            report.epoch_losses = _run_epochs_2d(self, x, x, epochs, batch_size, lr, rng)
         self.store.sync_to_model()
         return report
 
@@ -361,6 +371,7 @@ def _run_epochs_2d(
     shuffled_y = shuffled_x if same else np.empty_like(targets)
     losses: list = []
     for _ in range(epochs):
+        epoch_start = time.perf_counter()
         order = rng.permutation(n)
         np.take(inputs, order, axis=0, out=shuffled_x)
         if not same:
@@ -383,9 +394,21 @@ def _run_epochs_2d(
             epoch_loss += loss
             batches += 1
         losses.append(epoch_loss / max(batches, 1))
+        _observe_epoch(trainer, time.perf_counter() - epoch_start)
         if on_epoch is not None and on_epoch(losses):
             break
     return losses
+
+
+def _observe_epoch(trainer, elapsed_s: float) -> None:
+    """Report one training epoch to the active profiler and the trainer's
+    optional repro.obs histogram (cost: one None check each when unwired)."""
+    prof = _profiler.CURRENT
+    if prof is not None:
+        prof.record("trainfast.epoch", elapsed_s)
+    hist = getattr(trainer, "epoch_wall_hist", None)
+    if hist is not None:
+        hist.observe(elapsed_s)
 
 
 class CompiledLstmTrainer:
@@ -428,6 +451,13 @@ class CompiledLstmTrainer:
         self._capacity = 0
         self._steps = 0
         self._bufs: dict[str, np.ndarray] = {}
+        self.epoch_wall_hist = None
+
+    def attach_metrics(self, metrics) -> None:
+        """Route per-epoch wall-clock cost into a repro.obs registry."""
+        self.epoch_wall_hist = metrics.histogram(
+            "trainfast.epoch_wall_s", help="compiled-trainer epoch wall clock"
+        )
 
     def _refresh_grouped(self) -> None:
         hd = self.hidden_dim
@@ -671,9 +701,10 @@ class CompiledLstmTrainer:
             raise ValueError("cannot train on an empty dataset")
         rng = rng if rng is not None else self.model._shuffle_rng
         report = TrainReport()
-        report.epoch_losses = _run_epochs_3d(
-            self, sequences, targets, epochs, batch_size, lr, rng
-        )
+        with _profiler.profile_block("trainfast.fit.lstm"):
+            report.epoch_losses = _run_epochs_3d(
+                self, sequences, targets, epochs, batch_size, lr, rng
+            )
         self.store.sync_to_model()
         return report
 
@@ -696,6 +727,7 @@ def _run_epochs_3d(
     shuffled_y = np.empty_like(targets)
     losses: list = []
     for _ in range(epochs):
+        epoch_start = time.perf_counter()
         order = rng.permutation(n)
         np.take(sequences, order, axis=0, out=shuffled_x)
         np.take(targets, order, axis=0, out=shuffled_y)
@@ -721,6 +753,7 @@ def _run_epochs_3d(
             epoch_loss += loss
             batches += 1
         losses.append(epoch_loss / max(batches, 1))
+        _observe_epoch(trainer, time.perf_counter() - epoch_start)
         if on_epoch is not None and on_epoch(losses):
             break
     return losses
@@ -771,6 +804,8 @@ def compiled_train_minibatch(
     val_y = targets[len(targets) - n_val :]
 
     trainer = compile_trainer(model, dtype="float64")
+    if metrics is not None:
+        trainer.attach_metrics(metrics)
     optimizer = FlatAdam(trainer.store, lr=config.lr)
     rng = np.random.default_rng(config.seed)
     history = TrainHistory()
