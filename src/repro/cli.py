@@ -281,6 +281,39 @@ def _cmd_hotpath_bench(args: argparse.Namespace) -> int:
     return 0 if not failures else 3
 
 
+def _cmd_megabatch_bench(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.megabatch.bench import (
+        load_baseline,
+        run_bench,
+        save_result,
+        violations,
+    )
+
+    # The committed baseline lives at the repo root next to src/.
+    default_baseline = Path(__file__).resolve().parents[2] / "BENCH_megabatch.json"
+    baseline_path = Path(args.baseline) if args.baseline else default_baseline
+    result = run_bench(quick=args.quick)
+    print(result.report())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(result.to_dict(), fh, indent=2, sort_keys=True)
+        print(f"megabatch-bench snapshot -> {args.json}")
+    if args.update_baseline:
+        save_result(result, baseline_path)
+        print(f"baseline updated -> {baseline_path}")
+        return 0
+    baseline = load_baseline(baseline_path)
+    if baseline is None:
+        print(f"(no committed baseline at {baseline_path}; gating on floors only)")
+    failures = violations(result, baseline)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 0 if not failures else 3
+
+
 def _cmd_trainfast_bench(args: argparse.Namespace) -> int:
     import json
     from pathlib import Path
@@ -549,6 +582,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="rewrite the baseline from this run instead of gating against it",
     )
     hotpath_bench.set_defaults(func=_cmd_hotpath_bench)
+
+    megabatch_bench = commands.add_parser(
+        "megabatch-bench",
+        help="measure one-GEMM-per-tick scoring vs the pooled per-session "
+        "path at >= 1k sessions, plus the int8 quantized LSTM tier; verify "
+        "equality contracts; gate vs BENCH_megabatch.json",
+    )
+    megabatch_bench.add_argument(
+        "--quick", action="store_true", help="small CI run (fewer ticks/repeats)"
+    )
+    megabatch_bench.add_argument("--json", help="write the machine-readable result here")
+    megabatch_bench.add_argument(
+        "--baseline", help="baseline file (default: BENCH_megabatch.json at repo root)"
+    )
+    megabatch_bench.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from this run instead of gating against it",
+    )
+    megabatch_bench.set_defaults(func=_cmd_megabatch_bench)
 
     trainfast_bench = commands.add_parser(
         "trainfast-bench",

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.hotpath.settings import HotpathSettings
+from repro.megabatch.settings import MegabatchSettings
 from repro.scale.settings import ScaleSettings
 from repro.slo.settings import SloSettings
 from repro.telemetry.features import FeatureSpec
@@ -69,6 +70,13 @@ class XsecConfig:
     # Defaults preserve the seed training path bit-for-bit (see
     # docs/PERFORMANCE.md, "Training fast path").
     trainfast: TrainfastSettings = field(default_factory=TrainfastSettings)
+
+    # Cross-session megabatch scoring (repro.megabatch): one fused
+    # detector call per RIC tick across every touched UE, the int8/float16
+    # quantized LSTM tier, and bounded per-session state via eviction.
+    # Defaults preserve the seed's per-session scoring bit-for-bit (see
+    # docs/PERFORMANCE.md, "Megabatch per-tick scoring").
+    megabatch: MegabatchSettings = field(default_factory=MegabatchSettings)
 
     # SLO/observability plane (repro.slo): burn-rate alerting over
     # declarative objectives, continuous profiling, OpenMetrics/JSONL

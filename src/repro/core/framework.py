@@ -58,6 +58,10 @@ def build_detector(config: XsecConfig) -> AnomalyDetector:
         raise ValueError(f"unknown detector {config.detector!r}")
     if config.trainfast.any_enabled:
         detector.attach_trainfast(config.trainfast)
+    if config.megabatch.any_enabled:
+        # fit() runs the int8 calibration pass + quantized threshold fit
+        # when the quantized tier is on.
+        detector.attach_megabatch(config.megabatch)
     return detector
 
 

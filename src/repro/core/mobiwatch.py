@@ -22,6 +22,7 @@ import numpy as np
 from repro.core.config import XsecConfig
 from repro.hotpath.arena import SessionWindowArena
 from repro.hotpath.incremental import IncrementalLstmScorer
+from repro.megabatch.quantized import QuantizedLstmEngine
 from repro.ml.detector import AnomalyDetector, LstmDetector
 from repro.obs.metrics import WallTimer
 from repro.oran.e2ap import ActionType, RicIndication
@@ -36,9 +37,13 @@ from repro.oran.e2sm_kpm import (
 from repro.oran.xapp import XApp
 from repro.scale.pool import InferencePool
 from repro.scale.sharded_sdl import ShardedSdl
+from repro.sim.engine import Event
 from repro.slo import profiler as _profiler
 from repro.slo.provenance import ProvenanceStore
 from repro.telemetry.mobiflow import MobiFlowRecord, TelemetrySeries
+
+# The RRC message that ends a session (the release signal eviction keys on).
+RRC_RELEASE_MSG = "RRCRelease"
 
 # RMR message type for anomaly events toward the analyzer xApp.
 XSEC_ANOMALY_MTYPE = 60001
@@ -74,13 +79,19 @@ class MobiWatchXApp(XApp):
         self.detector: Optional[AnomalyDetector] = None
         self.series = TelemetrySeries()
         self._encoder = self.config.spec.streaming_encoder()
-        self._rows: list[np.ndarray] = []
+        # Entries are None'd out when a session is evicted (no-arena mode).
+        self._rows: list[Optional[np.ndarray]] = []
         # Arrival (ingest) sim-time per record index — feeds the loop traces.
         self._arrival_ts: list[float] = []
         self._session_records: dict[int, list[int]] = {}
         self._alerted_counts: dict[int, int] = {}
+        # At most one pending short-session maturity check per session
+        # (scheduling one per touch double-scored quiet short sessions:
+        # two timers at the same record count both pass the count guard).
+        self._pending_maturity: dict[int, Event] = {}
         self.records_seen = 0
         self.windows_scored = 0
+        self.sessions_evicted = 0
         self.anomalies: list[AnomalyEvent] = []
         metrics = self.sim.obs.metrics
         self._records_counter = metrics.counter(
@@ -112,10 +123,27 @@ class MobiWatchXApp(XApp):
         # last window becomes one contiguous view), and incremental LSTM
         # scoring carries per-session hidden state. Defaults off, keeping
         # the seed's assembly + full-window re-run path bit-identical.
+        # repro.megabatch's per-tick gather rides the same arena (its
+        # window views are the gather sources), so batching forces it on.
         self._arena: Optional[SessionWindowArena] = None
-        if self.config.hotpath.arena_enabled:
+        if self.config.hotpath.arena_enabled or self.config.megabatch.batching_enabled:
             self._arena = SessionWindowArena(self.config.spec.dim, self.config.window)
         self._incremental: Optional[IncrementalLstmScorer] = None
+        # repro.megabatch: one fused detector call per tick across every
+        # touched session; optional int8/float16 quantized LSTM tier with
+        # carried state; session eviction bounds per-session state. All
+        # default off (see docs/PERFORMANCE.md, "Megabatch").
+        self._quantized: Optional[QuantizedLstmEngine] = None
+        self._mb_gather = False
+        self._mb_buf: Optional[np.ndarray] = None
+        self._last_touch: dict[int, float] = {}
+        self._track_touch = self.config.megabatch.evict_idle_s > 0
+        self._evicted_counter = None
+        if self.config.megabatch.eviction_enabled:
+            self._evicted_counter = metrics.counter(
+                "mobiwatch.sessions_evicted_total",
+                help="sessions whose per-session state was dropped",
+            )
         # repro.scale: UE-sharded SDL placement + batched inference pool.
         # Both default off, keeping the seed's inline per-window path.
         self._sharded_sdl = isinstance(self.sdl, ShardedSdl)
@@ -151,6 +179,12 @@ class MobiWatchXApp(XApp):
             MobiFlowReportStyle(self.config.report_period_s).to_trigger()
         )
         self.subscribe(MOBIFLOW_RAN_FUNCTION_ID, trigger, ActionType.REPORT)
+        if self._track_touch:
+            self.schedule(
+                self.config.megabatch.evict_sweep_s,
+                self._evict_sweep,
+                name=f"{self.name}.evict",
+            )
 
     def deploy_detector(self, detector: AnomalyDetector) -> None:
         """Install a trained model (called by the SMO deploy step)."""
@@ -178,16 +212,62 @@ class MobiWatchXApp(XApp):
                     "hotpath.incremental ignored: carried-state scoring "
                     f"needs the LSTM detector, got {detector.name}"
                 )
+        # repro.megabatch: the quantized tier needs an LSTM fitted with
+        # megabatch attached (the fit runs the calibration pass); anything
+        # else falls back to the float gather path.
+        megabatch = self.config.megabatch
+        self._quantized = None
+        if megabatch.quantized:
+            if not isinstance(detector, LstmDetector):
+                self.log(
+                    "megabatch.quantized ignored: the int8 tier needs the "
+                    f"LSTM detector, got {detector.name}"
+                )
+            elif detector.calibration is None:
+                self.log(
+                    "megabatch.quantized ignored: detector was fitted without "
+                    "megabatch attached (no calibration pass)"
+                )
+            else:
+                self._quantized = QuantizedLstmEngine(
+                    detector,
+                    detector.calibration,
+                    megabatch,
+                    metrics=self.sim.obs.metrics,
+                )
+                for session_id in self._arena.session_ids():
+                    self._quantized.warm_up(
+                        session_id, self._arena.session_rows(session_id)
+                    )
+        # Per-tick gather batching: one fused detector call per tick. The
+        # incremental scorer already pays O(1) per score, so it wins when
+        # both are configured.
+        self._mb_gather = (
+            megabatch.batching_enabled
+            and self._quantized is None
+            and self._incremental is None
+        )
+        if megabatch.batching_enabled and self._incremental is not None:
+            self.log("megabatch batching idle: hotpath.incremental takes precedence")
         # Provenance names the runtime that produced each score, since the
         # fast paths carry documented tolerances (docs/PERFORMANCE.md).
         parts = []
-        if self._incremental is not None:
+        if self._quantized is not None:
+            parts.append(f"quantized-int8-{megabatch.state_dtype}")
+        elif self._incremental is not None:
             parts.append(
                 f"incremental-{hotpath.incremental_mode}-{hotpath.incremental_dtype}"
             )
         elif hotpath.compiled:
             parts.append(f"compiled-{hotpath.dtype}")
-        if self.pool is not None and self._incremental is None:
+        if self._mb_gather:
+            parts.append("megabatch")
+        if (
+            self.pool is not None
+            and self._incremental is None
+            and self._quantized is None
+            and not self._mb_gather
+        ):
             parts.append(f"pool-{self.config.scale.pool_workers}w")
         self._scoring_path = "+".join(parts) if parts else "seed"
         self.log(
@@ -224,6 +304,11 @@ class MobiWatchXApp(XApp):
         if self._heartbeat_gauge is not None:
             self._heartbeat_gauge.set(self.now)
         touched: list[int] = []
+        # (session, row) per record this tick — feeds the quantized tier's
+        # fused batched steps. Session-release signals drive eviction.
+        tick_rows: list = []
+        released: list[int] = []
+        evict_release = self.config.megabatch.evict_on_release
         for record in records:
             index = len(self.series)
             if index and record.timestamp < self.series[index - 1].timestamp:
@@ -257,12 +342,29 @@ class MobiWatchXApp(XApp):
             self._records_counter.inc()
             self._capture_to_ingest.observe(self.now - record.timestamp)
             if record.session_id:
-                self._session_records.setdefault(record.session_id, []).append(index)
-                touched.append(record.session_id)
+                session_id = record.session_id
+                self._session_records.setdefault(session_id, []).append(index)
+                touched.append(session_id)
+                if self._track_touch:
+                    self._last_touch[session_id] = self.now
+                if self._quantized is not None:
+                    tick_rows.append((session_id, row))
+                if evict_release and record.msg == RRC_RELEASE_MSG:
+                    released.append(session_id)
         if self.detector is not None:
-            for session_id in dict.fromkeys(touched):
-                self._score_session(session_id)
+            unique = list(dict.fromkeys(touched))
+            if self._quantized is not None:
+                self._quantized_ingest(tick_rows)
+                self._quantized_tick(unique)
+            elif self._mb_gather:
+                self._megabatch_tick(unique)
+            else:
+                for session_id in unique:
+                    self._score_session(session_id)
         self._flush_pool()
+        if released:
+            self._evict_released(released)
+            self._flush_pool()
 
     # -- scoring ------------------------------------------------------------------------
 
@@ -277,21 +379,202 @@ class MobiWatchXApp(XApp):
         if not indices:
             return
         if len(indices) < self.config.window:
-            count = len(indices)
-            self.schedule(
-                self.SHORT_SESSION_MATURITY_S,
-                lambda: self._mature_short_session(session_id, count),
-                name=f"{self.name}.mature",
-            )
+            self._schedule_maturity(session_id, len(indices))
             return
         self._score_window(session_id, indices)
 
+    def _schedule_maturity(self, session_id: int, count: int) -> None:
+        """(Re)arm the session's single pending maturity check.
+
+        Superseded checks are cancelled: scheduling one per touch left two
+        timers at the same record count, both passing the count guard and
+        double-scoring a quiet short session (inflated windows_scored,
+        score histogram, and profiler samples).
+        """
+        pending = self._pending_maturity.get(session_id)
+        if pending is not None:
+            pending.cancel()
+        self._pending_maturity[session_id] = self.schedule(
+            self.SHORT_SESSION_MATURITY_S,
+            lambda: self._mature_short_session(session_id, count),
+            name=f"{self.name}.mature",
+        )
+
     def _mature_short_session(self, session_id: int, count: int) -> None:
+        self._pending_maturity.pop(session_id, None)
         indices = self._session_records.get(session_id, [])
         if len(indices) != count:
-            return  # progressed (or another maturation check is pending)
+            return  # progressed since the check was armed
         self._score_window(session_id, indices)
         self._flush_pool()
+
+    # -- megabatch per-tick scoring (repro.megabatch) ------------------------------
+
+    def _split_ready(self, session_ids) -> tuple:
+        """Partition a tick's touched sessions into score-now vs short.
+
+        Short sessions get their (single) maturity check armed, exactly as
+        the per-session path would.
+        """
+        window = self.config.window
+        ready: list[int] = []
+        counts: list[int] = []
+        chosens: list[list] = []
+        for session_id in session_ids:
+            indices = self._session_records.get(session_id, [])
+            if not indices:
+                continue
+            if len(indices) < window:
+                self._schedule_maturity(session_id, len(indices))
+                continue
+            ready.append(session_id)
+            counts.append(len(indices))
+            chosens.append(indices[-window:])
+        return ready, counts, chosens
+
+    def _megabatch_tick(self, session_ids) -> None:
+        ready, counts, chosens = self._split_ready(session_ids)
+        self._megabatch_score(ready, counts, chosens)
+
+    def _megabatch_score(self, ready, counts, chosens) -> None:
+        """Gather the ready sessions' pending windows; score the tick batch.
+
+        Each arena window view is copied into one reusable
+        ``[n_sessions, window * dim]`` matrix. Under the compiled float32
+        kernels the whole matrix goes through **one fused GEMM per tick**
+        (the performance tier, hotpath-tolerance contract). In float64 the
+        rows are scored through the same ``[1, window*dim]``-shaped calls
+        the seed path makes — BLAS dispatches different (differently
+        accumulated) kernels per batch height, so a fused float64 call
+        would drift from the seed in the last ulps; the row-shaped calls
+        keep float64 scores (and the anomaly events they produce)
+        bit-identical to the seed path, enforced per attack scenario by
+        tests/test_megabatch.py. Bookkeeping (counter bumps, histogram
+        fill, threshold sweep) is batched per tick in both modes.
+        """
+        if not ready:
+            return
+        width = self.config.window * self.config.spec.dim
+        buf = self._mb_buf
+        if buf is None or buf.shape[0] < len(ready) or buf.shape[1] != width:
+            capacity = len(ready) if buf is None else max(len(ready), buf.shape[0] * 2)
+            buf = self._mb_buf = np.empty((capacity, width), dtype=self._arena.dtype)
+        matrix = buf[: len(ready)]
+        for row, session_id in enumerate(ready):
+            matrix[row] = self._arena.window_rows(session_id).reshape(-1)
+        fused = (
+            self.config.hotpath.compiled and self.config.hotpath.dtype == "float32"
+        )
+        with _profiler.profile_block("mobiwatch.score"), WallTimer(self._inference_wall):
+            if fused or len(ready) == 1:
+                scores = np.asarray(self.detector.scores(matrix), dtype=np.float64)
+            else:
+                scores = np.array(
+                    [
+                        float(self.detector.scores(matrix[i : i + 1])[0])
+                        for i in range(len(ready))
+                    ]
+                )
+        threshold = self.detector.threshold.threshold or 0.0
+        self._handle_scores_batch(ready, counts, chosens, scores, self.now, threshold)
+
+    def _quantized_ingest(self, tick_rows) -> None:
+        """Advance carried quantized state: one fused batched step per wave.
+
+        Wave k holds each session's k-th record of the tick, so session
+        ids are unique within a wave (one state slot, one update) and a
+        tick with r records per session costs r fused steps total —
+        instead of r steps *per session*.
+        """
+        wave_index: dict[int, int] = {}
+        waves: list[tuple[list, list]] = []
+        for session_id, row in tick_rows:
+            wave = wave_index.get(session_id, 0)
+            if wave == len(waves):
+                waves.append(([], []))
+            waves[wave][0].append(session_id)
+            waves[wave][1].append(row)
+            wave_index[session_id] = wave + 1
+        for session_ids, rows in waves:
+            self._quantized.megastep(session_ids, np.asarray(rows, dtype=np.float32))
+
+    def _quantized_tick(self, session_ids) -> None:
+        ready, counts, chosens = self._split_ready(session_ids)
+        if not ready:
+            return
+        with _profiler.profile_block("mobiwatch.score"), WallTimer(self._inference_wall):
+            scores = self._quantized.window_scores_for(ready)
+        self._handle_scores_batch(
+            ready, counts, chosens, scores, self.now, self._quantized_operating_threshold()
+        )
+
+    def _quantized_operating_threshold(self) -> float:
+        """The quantized tier's own percentile operating point.
+
+        Quantized scores live in a (slightly) different score space than
+        float64 scores, so the detector fits a separate threshold on the
+        quantized training scores; the float64 threshold is the fallback.
+        """
+        quantized = self.detector.quantized_threshold
+        if quantized is not None and quantized.threshold is not None:
+            return quantized.threshold
+        return self.detector.threshold.threshold or 0.0
+
+    # -- session eviction (repro.megabatch: bounded per-session state) -------------
+
+    def _evict_released(self, released) -> None:
+        for session_id in dict.fromkeys(released):
+            pending = self._pending_maturity.pop(session_id, None)
+            if pending is not None:
+                pending.cancel()
+                # The release completes the session: score its final short
+                # window now instead of waiting out the maturity timer.
+                indices = self._session_records.get(session_id, [])
+                if indices:
+                    self._score_window(session_id, indices)
+            self._evict_session(session_id)
+
+    def _evict_sweep(self) -> None:
+        horizon = self.now - self.config.megabatch.evict_idle_s
+        stale = [s for s, t in self._last_touch.items() if t <= horizon]
+        for session_id in stale:
+            self._evict_session(session_id)
+        self.schedule(
+            self.config.megabatch.evict_sweep_s,
+            self._evict_sweep,
+            name=f"{self.name}.evict",
+        )
+
+    def _evict_session(self, session_id: int) -> bool:
+        """Drop every piece of the session's per-xApp state.
+
+        Without eviction, _session_records / _rows / _alerted_counts and
+        the scorers' carried state grow forever — a leak at fleet scale.
+        A re-appearing session starts from an empty window history.
+        """
+        pending = self._pending_maturity.pop(session_id, None)
+        if pending is not None:
+            pending.cancel()
+        indices = self._session_records.pop(session_id, None)
+        if indices is None:
+            return False
+        if self._arena is None:
+            # Row arrays are only reachable through _session_records;
+            # None them out (the list keeps index alignment).
+            for index in indices:
+                self._rows[index] = None
+        self._alerted_counts.pop(session_id, None)
+        self._last_touch.pop(session_id, None)
+        if self._arena is not None:
+            self._arena.release(session_id)
+        if self._incremental is not None:
+            self._incremental.release(session_id)
+        if self._quantized is not None:
+            self._quantized.release(session_id)
+        self.sessions_evicted += 1
+        if self._evicted_counter is not None:
+            self._evicted_counter.inc()
+        return True
 
     def _flush_pool(self) -> None:
         if self.pool is not None and self.pool.pending:
@@ -303,6 +586,25 @@ class MobiWatchXApp(XApp):
         window = self.config.window
         spec = self.config.spec
         chosen = indices[-window:]
+        if self._quantized is not None:
+            # Carried-state tier: the fused batched steps already ran at
+            # ingest; the score is the session's error-ring max.
+            with WallTimer(self._inference_wall):
+                score = self._quantized.window_score(session_id)
+            self._handle_score(
+                session_id,
+                len(indices),
+                chosen,
+                score,
+                self.now,
+                threshold=self._quantized_operating_threshold(),
+            )
+            return
+        if self._mb_gather:
+            # Matured short sessions route through the same gather call as
+            # the per-tick batch (a batch of one).
+            self._megabatch_score([session_id], [len(indices)], [list(chosen)])
+            return
         if self._incremental is not None:
             # O(1) carried-state scoring: one fused LSTM step was already
             # paid at ingest; the score is a max over stored per-record
@@ -345,14 +647,55 @@ class MobiWatchXApp(XApp):
         chosen: list,
         score: float,
         detected_at: float,
+        threshold: Optional[float] = None,
     ) -> None:
-        """Threshold + alert logic, shared by the inline and pooled paths."""
+        """Threshold + alert logic, shared by the inline and pooled paths.
+
+        ``threshold`` overrides the detector's float64 operating point
+        (the quantized tier passes its own).
+        """
         self.windows_scored += 1
         self._windows_counter.inc()
         self._score_hist.observe(score)
-        threshold = self.detector.threshold.threshold or 0.0
+        if threshold is None:
+            threshold = self.detector.threshold.threshold or 0.0
         if score <= threshold:
             return
+        self._maybe_alert(session_id, record_count, chosen, score, detected_at, threshold)
+
+    def _handle_scores_batch(
+        self,
+        session_ids: list,
+        record_counts: list,
+        chosens: list,
+        scores: np.ndarray,
+        detected_at: float,
+        threshold: float,
+    ) -> None:
+        """Batched counterpart of :meth:`_handle_score` (one tick's scores)."""
+        n = len(session_ids)
+        self.windows_scored += n
+        self._windows_counter.inc(n)
+        self._score_hist.observe_many(scores)
+        for i in np.flatnonzero(scores > threshold):
+            self._maybe_alert(
+                session_ids[i],
+                record_counts[i],
+                list(chosens[i]),
+                float(scores[i]),
+                detected_at,
+                threshold,
+            )
+
+    def _maybe_alert(
+        self,
+        session_id: int,
+        record_count: int,
+        chosen: list,
+        score: float,
+        detected_at: float,
+        threshold: float,
+    ) -> None:
         # One alert per session per record-count (new evidence -> new alert).
         if self._alerted_counts.get(session_id) == record_count:
             return

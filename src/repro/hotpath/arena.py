@@ -89,6 +89,15 @@ class SessionWindowArena:
         start = count - 1
         return buf[start : start + self.window]
 
+    def release(self, session_id: int) -> bool:
+        """Drop one session's buffer (eviction). Old views stay valid.
+
+        Returns whether the session held rows. Previously handed-out views
+        keep the retired buffer alive via refcount, so deferred scorers are
+        unaffected; a re-appearing session starts a fresh buffer.
+        """
+        return self._sessions.pop(session_id, None) is not None
+
     def session_rows(self, session_id: int) -> np.ndarray:
         """Every row of one session ``[L, dim]`` (a view, no pad)."""
         entry = self._sessions.get(session_id)

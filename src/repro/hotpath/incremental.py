@@ -146,6 +146,10 @@ class IncrementalLstmScorer:
         state = self._sessions.get(session_id)
         return len(state.errors) if state is not None else 0
 
+    def release(self, session_id: int) -> bool:
+        """Drop one session's carried state and error history (eviction)."""
+        return self._sessions.pop(session_id, None) is not None
+
     def record_errors(self, session_id: int) -> np.ndarray:
         """The session's per-record errors so far (cached mode)."""
         state = self._sessions.get(session_id)

@@ -1,0 +1,360 @@
+"""Megabatch benchmark: per-tick scoring throughput at fleet scale.
+
+One simulated RIC tick touches every one of ``sessions`` concurrent UEs;
+the measured quantity is the **scoring phase** of that tick (the part the
+megabatch restructuring changes), in sessions scored per second:
+
+- **pooled** — the baseline ``repro.scale`` path at its fleet
+  configuration (the scale bench's 4 session-sharded workers, 64-window
+  flush batches): one ``pool.submit`` per session and per-window
+  callbacks running the seed's score handling (histogram observe,
+  counter bump, threshold compare) on the float64 reference scorer;
+- **megabatch float64** — gather every session's arena window view into
+  one ``[n, window*dim]`` matrix, then score it through seed-shaped
+  ``[1, window*dim]`` calls (BLAS accumulates differently per batch
+  height, so this is the bit-identical tier — re-verified against the
+  seed's own per-session assembly every run);
+- **megabatch float32** — the gathered matrix through one fused
+  ``repro.hotpath`` compiled float32 GEMM per tick (the headline tier);
+- **quantized** (LSTM only) — carried int8/float16 state advanced by one
+  fused batched step per tick plus the ring-max score read.
+
+Every tier's tick includes its score handling — per-window callbacks on
+the pooled path, one ``observe_many`` + vectorized threshold sweep on the
+megabatch paths — because that Python-per-window bookkeeping is exactly
+what the per-tick restructuring removes.
+
+:func:`violations` gates a result against the hard floors (megabatch
+float32 ≥ 3x pooled; quantized ≥ 1.5x megabatch float32) and a committed
+baseline (``BENCH_megabatch.json``), so CI fails on regressions.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.hotpath.arena import SessionWindowArena
+from repro.hotpath.compiled import compile_detector
+from repro.megabatch.quantized import QuantizedLstmEngine, calibrate_windows
+from repro.megabatch.settings import MegabatchSettings
+from repro.scale.pool import InferencePool
+
+# Hard floors from the acceptance gates.
+MEGABATCH_SPEEDUP_MIN = 3.0  # megabatch f32 vs pooled per-session, >= 1k sessions
+QUANTIZED_SPEEDUP_MIN = 1.5  # quantized tier vs megabatch f32 (LSTM)
+# A fresh run may regress this far below the committed baseline's measured
+# ratio before we call it a regression (shared-runner noise allowance).
+BASELINE_SLACK = 0.5
+
+
+@dataclass
+class MegabatchBenchConfig:
+    sessions: int = 1024
+    window: int = 6
+    feature_dim: int = 71
+    lstm_hidden_dim: int = 64
+    ae_hidden_dim: int = 128
+    ae_latent_dim: int = 24
+    seed: int = 7
+    # Pool shape of the baseline tier (the scale bench's fleet point:
+    # session-sharded workers, 64-window flush batches).
+    pool_batch_windows: int = 64
+    pool_workers: int = 4
+    ticks: int = 6  # timed ticks per measurement
+    repeats: int = 3  # best-of repeats for every timing loop
+    # Sessions double-checked for f64 batch-vs-single bit-identity.
+    equality_sessions: int = 64
+
+    @classmethod
+    def quick(cls) -> "MegabatchBenchConfig":
+        # The floors are defined at >= 1k concurrent sessions, so quick
+        # mode keeps the fleet size and trims repetitions instead.
+        return cls(ticks=2, repeats=2, equality_sessions=16)
+
+
+@dataclass
+class MegabatchBenchResult:
+    tiers: dict = field(default_factory=dict)
+    equality: dict = field(default_factory=dict)
+    meta: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": 1,
+            "tiers": self.tiers,
+            "equality": self.equality,
+            "meta": self.meta,
+        }
+
+    def report(self) -> str:
+        lines = [
+            f"megabatch bench ({self.meta['sessions']} sessions/tick"
+            + (", quick" if self.meta.get("quick") else "")
+            + ")"
+        ]
+        for name, t in self.tiers.items():
+            lines.append(
+                f"  {name}: pooled {t['pooled_sps']:.0f} s/s -> megabatch f64 "
+                f"{t['megabatch_f64_sps']:.0f} s/s ({t['megabatch_f64_speedup']:.2f}x), "
+                f"f32 {t['megabatch_f32_sps']:.0f} s/s ({t['megabatch_speedup']:.2f}x, "
+                f"floor {MEGABATCH_SPEEDUP_MIN:.1f}x)"
+            )
+            if "quantized_sps" in t:
+                lines.append(
+                    f"    quantized int8/f16: {t['quantized_sps']:.0f} s/s "
+                    f"({t['quantized_speedup']:.2f}x over f32, floor "
+                    f"{QUANTIZED_SPEEDUP_MIN:.1f}x)"
+                )
+        eq = ", ".join(f"{k}={v}" for k, v in self.equality.items())
+        lines.append(f"  equality: {eq}")
+        return "\n".join(lines)
+
+
+def _best_of(repeats: int, run: Callable[[], float]) -> float:
+    """Best (minimum) measurement across repeats — noise-robust timing."""
+    return min(run() for _ in range(repeats))
+
+
+def _make_detectors(cfg: MegabatchBenchConfig):
+    from repro.ml.detector import AutoencoderDetector, LstmDetector
+
+    lstm = LstmDetector(
+        window=cfg.window,
+        feature_dim=cfg.feature_dim,
+        hidden_dim=cfg.lstm_hidden_dim,
+        seed=cfg.seed,
+    )
+    ae = AutoencoderDetector(
+        window=cfg.window,
+        feature_dim=cfg.feature_dim,
+        hidden_dim=cfg.ae_hidden_dim,
+        latent_dim=cfg.ae_latent_dim,
+        seed=cfg.seed,
+    )
+    return lstm, ae
+
+
+def _fill_arena(cfg: MegabatchBenchConfig, rng) -> tuple:
+    """An arena with every session holding a full window of rows."""
+    arena = SessionWindowArena(cfg.feature_dim, cfg.window)
+    rows = (rng.random((cfg.sessions, cfg.window, cfg.feature_dim)) * 0.1).astype(
+        np.float32
+    )
+    for sid in range(cfg.sessions):
+        for t in range(cfg.window):
+            arena.append(sid, rows[sid, t])
+    return arena, rows
+
+
+def _bench_detector(
+    cfg: MegabatchBenchConfig, name: str, detector, result: MegabatchBenchResult
+) -> None:
+    rng = np.random.default_rng(cfg.seed + hash(name) % 1000)
+    arena, rows = _fill_arena(cfg, rng)
+    session_ids = list(range(cfg.sessions))
+    width = cfg.window * cfg.feature_dim
+    gather_buf = np.empty((cfg.sessions, width), dtype=arena.dtype)
+
+    def gather() -> np.ndarray:
+        for row, sid in enumerate(session_ids):
+            gather_buf[row] = arena.window_rows(sid).reshape(-1)
+        return gather_buf
+
+    def score_rows(matrix: np.ndarray) -> np.ndarray:
+        """The f64 tier's row-shaped scoring over a gathered matrix."""
+        return np.array(
+            [float(detector.scores(matrix[i : i + 1])[0]) for i in range(len(matrix))]
+        )
+
+    # f64 bit-identity: gathered rows must score exactly like the seed's
+    # own per-session window assembly (stack straight from the arena).
+    matrix = gather()
+    check = min(cfg.equality_sessions, cfg.sessions)
+    tier_scores = score_rows(matrix[:check])
+    seed_scores = np.array(
+        [
+            float(detector.scores(arena.window_rows(sid).reshape(1, -1))[0])
+            for sid in session_ids[:check]
+        ]
+    )
+    result.equality[f"megabatch_f64_exact_{name}"] = bool(
+        np.array_equal(tier_scores, seed_scores)
+    )
+
+    def tick_time(tick: Callable[[], None]) -> float:
+        def run() -> float:
+            t0 = time.perf_counter()
+            for _ in range(cfg.ticks):
+                tick()
+            return (time.perf_counter() - t0) / cfg.ticks
+
+        run()  # warm-up (BLAS thread spin-up, allocator)
+        return _best_of(cfg.repeats, run)
+
+    # Both sides run their real per-tick score handling: the pooled path
+    # pays it per window in the callback, the megabatch paths batch it.
+    from repro.obs.metrics import Counter, Histogram
+
+    hist = Histogram(buckets=(1e-4, 5e-4, 1e-3, 5e-3, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0))
+    windows_counter = Counter()
+    alert_threshold = 1e9  # handling cost without the (rare) alert path
+
+    def handle(score: float, done_at: float) -> None:
+        windows_counter.inc()
+        hist.observe(score)
+        if score > alert_threshold:
+            raise AssertionError  # pragma: no cover
+
+    def handle_batch(scores: np.ndarray) -> None:
+        windows_counter.inc(len(scores))
+        hist.observe_many(scores)
+        np.flatnonzero(scores > alert_threshold)
+
+    # Tier 1: the pooled per-session path (baseline).
+    pool = InferencePool(
+        lambda m: detector.scores(m),
+        workers=cfg.pool_workers,
+        batch_windows=cfg.pool_batch_windows,
+        name=f"bench-{name}",
+    )
+
+    def pooled_tick() -> None:
+        for sid in session_ids:
+            pool.submit(sid, arena.window_rows(sid).reshape(-1), handle)
+        pool.flush()
+
+    # Tier 2: gathered matrix, row-shaped f64 calls (the exact mode).
+    def megabatch_f64_tick() -> None:
+        handle_batch(score_rows(gather()))
+
+    # Tier 3: gathered matrix, ONE fused compiled-f32 call per tick.
+    compiled32 = compile_detector(detector, "float32")
+    result.equality[f"megabatch_f32_close_{name}"] = bool(
+        np.allclose(
+            compiled32.scores(matrix[:check]), tier_scores, rtol=1e-4, atol=1e-6
+        )
+    )
+
+    def megabatch_f32_tick() -> None:
+        handle_batch(compiled32.scores(gather()))
+
+    pooled_s = tick_time(pooled_tick)
+    f64_s = tick_time(megabatch_f64_tick)
+    f32_s = tick_time(megabatch_f32_tick)
+    tier = {
+        "pooled_sps": cfg.sessions / pooled_s,
+        "megabatch_f64_sps": cfg.sessions / f64_s,
+        "megabatch_f32_sps": cfg.sessions / f32_s,
+        "megabatch_f64_speedup": pooled_s / f64_s,
+        "megabatch_speedup": pooled_s / f32_s,
+    }
+
+    # Tier 4 (LSTM only): carried-state quantized step + ring-max read.
+    if name == "lstm":
+        settings = MegabatchSettings(quantized=True)
+        calibration = calibrate_windows(rows.reshape(cfg.sessions, -1), settings)
+        engine = QuantizedLstmEngine(
+            detector, calibration, settings, initial_sessions=cfg.sessions
+        )
+        step_rows = rows[:, 0, :]  # one fresh record per session per tick
+        for t in range(cfg.window):  # pre-tick state, like the live path
+            engine.megastep(session_ids, rows[:, t, :])
+
+        def quantized_tick() -> None:
+            engine.megastep(session_ids, step_rows)
+            handle_batch(engine.window_scores_for(session_ids))
+
+        quant_s = tick_time(quantized_tick)
+        tier["quantized_sps"] = cfg.sessions / quant_s
+        tier["quantized_speedup"] = f32_s / quant_s
+        quant_scores = engine.window_scores_for(session_ids)
+        result.equality["quantized_finite"] = bool(np.isfinite(quant_scores).all())
+        # Decision agreement at matched percentile operating points
+        # (informational; the hard contract lives in the Table-2 metric
+        # tolerance tests).
+        f64_scores = score_rows(matrix)
+        f64_cut = np.percentile(f64_scores, 97.5)
+        quant_cut = np.percentile(quant_scores, 97.5)
+        agreement = float(
+            np.mean((f64_scores > f64_cut) == (quant_scores > quant_cut))
+        )
+        result.equality["quantized_decision_agreement"] = round(agreement, 4)
+
+    result.tiers[name] = tier
+
+
+def run_bench(
+    config: Optional[MegabatchBenchConfig] = None, quick: bool = False
+) -> MegabatchBenchResult:
+    """Measure all tiers for both detectors, plus the equality contracts."""
+    cfg = config or (MegabatchBenchConfig.quick() if quick else MegabatchBenchConfig())
+    result = MegabatchBenchResult()
+    result.meta = {
+        "quick": quick,
+        "sessions": cfg.sessions,
+        "window": cfg.window,
+        "feature_dim": cfg.feature_dim,
+        "ticks": cfg.ticks,
+        "pool_batch_windows": cfg.pool_batch_windows,
+    }
+    lstm, ae = _make_detectors(cfg)
+    _bench_detector(cfg, "lstm", lstm, result)
+    _bench_detector(cfg, "autoencoder", ae, result)
+    return result
+
+
+def violations(result: MegabatchBenchResult, baseline: Optional[dict] = None) -> list:
+    """Gate a result against the hard floors and the committed baseline."""
+    out: list[str] = []
+    for key, ok in result.equality.items():
+        if isinstance(ok, bool) and not ok:
+            out.append(f"equality contract broken: {key}")
+    for name, tier in result.tiers.items():
+        speedup = tier.get("megabatch_speedup", 0.0)
+        if speedup < MEGABATCH_SPEEDUP_MIN:
+            out.append(
+                f"{name} megabatch speedup {speedup:.2f}x below floor "
+                f"{MEGABATCH_SPEEDUP_MIN:.1f}x"
+            )
+        if "quantized_speedup" in tier and tier["quantized_speedup"] < QUANTIZED_SPEEDUP_MIN:
+            out.append(
+                f"{name} quantized speedup {tier['quantized_speedup']:.2f}x below "
+                f"floor {QUANTIZED_SPEEDUP_MIN:.1f}x"
+            )
+    if baseline:
+        paths = []
+        for name, tier in result.tiers.items():
+            paths.append((("tiers", name, "megabatch_speedup"), tier["megabatch_speedup"]))
+            if "quantized_speedup" in tier:
+                paths.append(
+                    (("tiers", name, "quantized_speedup"), tier["quantized_speedup"])
+                )
+        for path, current in paths:
+            node = baseline
+            for part in path:
+                node = node.get(part, {}) if isinstance(node, dict) else {}
+            if isinstance(node, (int, float)) and current < node * BASELINE_SLACK:
+                out.append(
+                    f"{'.'.join(path)} {current:.2f}x regressed below "
+                    f"{BASELINE_SLACK:.0%} of committed baseline {node:.2f}x"
+                )
+    return out
+
+
+def load_baseline(path) -> Optional[dict]:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def save_result(result: MegabatchBenchResult, path) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(result.to_dict(), fh, indent=2, sort_keys=True)
+        fh.write("\n")

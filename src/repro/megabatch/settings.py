@@ -1,0 +1,113 @@
+"""Configuration knobs for cross-session megabatch scoring (``repro.megabatch``).
+
+Kept dependency-free (like :mod:`repro.hotpath.settings`) so every layer can
+import it without cycles. **Every default preserves the seed's scoring
+behaviour bit-for-bit**: per-session scoring calls, float64 arithmetic, no
+session eviction.
+
+The independent switches:
+
+- ``enabled`` — per-tick megabatch gathering: every touched session's
+  pending window is gathered into one ``[n_sessions, window * dim]``
+  matrix and the detector runs **one** fused call per RIC tick across all
+  UEs, instead of one call (or one pool submission) per session. In
+  float64 the batched rows score bit-identically to the per-session calls
+  (each output element is an independent dot product), so anomaly events
+  are bit-identical to the seed path — enforced per attack scenario by
+  tests/test_megabatch.py.
+- ``quantized`` — the int8/float16 quantized kernel tier (LSTM detector
+  only; ignored with a log line under the autoencoder). Weights and
+  inputs are quantized to int8 (per-column / per-tensor scales from a
+  per-capture calibration pass) and carried exactly inside float32 BLAS
+  GEMMs; per-session hidden/cell state is stored in ``state_dtype`` and
+  advanced by **one** fused batched LSTM step per tick across all touched
+  sessions (session-context semantics, like
+  :mod:`repro.hotpath.incremental`). Scores differ from the float64 path;
+  the accuracy contract is at the detection-metric level (see
+  ``quantized_metric_tol`` and docs/PERFORMANCE.md).
+- eviction (``evict_on_release`` / ``evict_idle_s``) — bounded per-session
+  state: drop a session's record indices, arena rows, carried scorer
+  state and alert bookkeeping when the RAN releases the session or after
+  an idle horizon. Off by default because a re-appearing session restarts
+  its window history (a behaviour change, not a bit-identical one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+_STATE_DTYPES = ("float16", "float32")
+_CALIBRATIONS = ("minmax", "percentile")
+
+
+@dataclass
+class MegabatchSettings:
+    """Knobs of the ``repro.megabatch`` subsystem (see module docstring)."""
+
+    # One fused detector call per tick across every touched session.
+    enabled: bool = False
+
+    # Int8-weight/int8-input quantized batched LSTM tier with carried
+    # per-session state (implies megabatch-style per-tick scoring for the
+    # LSTM detector; the autoencoder falls back to the gather path).
+    quantized: bool = False
+    # Storage precision of the carried hidden/cell state arenas. float16
+    # halves state memory at fleet scale; float32 is the exactness-leaning
+    # option (the batched step itself always computes in float32).
+    state_dtype: str = "float16"
+    # Per-capture input calibration over the training windows: "minmax"
+    # uses the observed absolute maximum; "percentile" clips outliers at
+    # ``calibration_percentile`` of the absolute-value distribution.
+    calibration: str = "minmax"
+    calibration_percentile: float = 99.9
+
+    # Session-state eviction. ``evict_on_release``: an RRCRelease record
+    # finishes the session — score its final window immediately (instead
+    # of waiting out the maturity timer) and drop its state at the end of
+    # the tick. ``evict_idle_s`` > 0: a periodic sweep (every
+    # ``evict_sweep_s``) drops sessions untouched for that horizon.
+    evict_on_release: bool = False
+    evict_idle_s: float = 0.0
+    evict_sweep_s: float = 5.0
+
+    # Documented accuracy contract of the quantized tier: Table-2-style
+    # detection metrics (accuracy/precision/recall/F1 at the percentile
+    # operating point) stay within this absolute tolerance of the float64
+    # path, verified per attack scenario by tests/test_megabatch.py.
+    quantized_metric_tol: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.state_dtype not in _STATE_DTYPES:
+            raise ValueError(
+                f"state_dtype must be one of {_STATE_DTYPES}, got {self.state_dtype!r}"
+            )
+        if self.calibration not in _CALIBRATIONS:
+            raise ValueError(
+                f"calibration must be one of {_CALIBRATIONS}, got {self.calibration!r}"
+            )
+        if not 0.0 < self.calibration_percentile <= 100.0:
+            raise ValueError(
+                f"calibration_percentile must be in (0, 100], "
+                f"got {self.calibration_percentile}"
+            )
+        if self.evict_idle_s < 0:
+            raise ValueError(f"evict_idle_s must be >= 0, got {self.evict_idle_s}")
+        if self.evict_sweep_s <= 0:
+            raise ValueError(f"evict_sweep_s must be > 0, got {self.evict_sweep_s}")
+        if self.quantized_metric_tol <= 0:
+            raise ValueError(
+                f"quantized_metric_tol must be > 0, got {self.quantized_metric_tol}"
+            )
+
+    @property
+    def batching_enabled(self) -> bool:
+        """Per-tick batched scoring is on (gathered or quantized)."""
+        return self.enabled or self.quantized
+
+    @property
+    def eviction_enabled(self) -> bool:
+        return self.evict_on_release or self.evict_idle_s > 0
+
+    @property
+    def any_enabled(self) -> bool:
+        return self.batching_enabled or self.eviction_enabled

@@ -26,6 +26,30 @@ from repro.obs.metrics import MetricsRegistry
 _ERROR_BUCKETS = (1e-4, 5e-4, 1e-3, 5e-3, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0)
 
 
+def merge_session_groups(window_records) -> list:
+    """Rebuild per-session record groups from sessionized window records.
+
+    Sessionized windowing emits each session's windows contiguously and
+    adjacent windows of one session overlap, so a linear connectivity pass
+    reconstructs the per-session record lists exactly. Shared by the
+    float64 session-context scorer and the quantized tier's offline
+    evaluation (:mod:`repro.megabatch.quantized`).
+    """
+    merged: list = []
+    current: Optional[set] = None
+    for window_indices in window_records:
+        indices = set(window_indices)
+        if current is not None and (indices & current):
+            current |= indices
+        else:
+            if current is not None:
+                merged.append(sorted(current))
+            current = indices
+    if current is not None:
+        merged.append(sorted(current))
+    return merged
+
+
 class AnomalyDetector(abc.ABC):
     """fit on benign windows -> score/detect arbitrary windows."""
 
@@ -43,6 +67,14 @@ class AnomalyDetector(abc.ABC):
         # Training fast path (repro.trainfast): when attached and enabled,
         # fit() routes through the compiled training kernels.
         self._trainfast = None
+        # Megabatch tier (repro.megabatch): with the quantized tier on,
+        # fit() also runs the int8 calibration pass over the training
+        # windows and fits a separate operating threshold in quantized
+        # score space (quantized scores are not float64 scores, so reusing
+        # the float64 threshold would shift the operating point).
+        self._megabatch = None
+        self.calibration = None
+        self.quantized_threshold: Optional[PercentileThreshold] = None
 
     def attach_metrics(self, metrics: MetricsRegistry) -> None:
         """Route training/inference error distributions into a registry."""
@@ -58,6 +90,30 @@ class AnomalyDetector(abc.ABC):
         documented fast mode.
         """
         self._trainfast = settings
+
+    def attach_megabatch(self, settings) -> None:
+        """Adopt :class:`~repro.megabatch.settings.MegabatchSettings`.
+
+        With the quantized tier on, subsequent fits calibrate the int8
+        input scale over the training windows (:func:`calibrate_windows`)
+        and fit :attr:`quantized_threshold` at the same percentile on the
+        quantized tier's own training scores.
+        """
+        self._megabatch = settings
+
+    def _fit_quantized_tier(self, windows: np.ndarray) -> None:
+        """Calibration + quantized-threshold pass after a fit (if attached)."""
+        self.calibration = None
+        self.quantized_threshold = None
+        if self._megabatch is None or not self._megabatch.quantized:
+            return
+        from repro.megabatch.quantized import calibrate_windows
+
+        self.calibration = calibrate_windows(windows, self._megabatch)
+        self._fit_quantized_threshold(windows)
+
+    def _fit_quantized_threshold(self, windows: np.ndarray) -> None:
+        """Detector-specific quantized threshold fit (no-op by default)."""
 
     def compile(self, dtype: str = "float32"):
         """Snapshot the current weights into fused inference kernels.
@@ -102,6 +158,7 @@ class AnomalyDetector(abc.ABC):
             self.compile(self._trainfast.trainer_dtype)
         self.training_scores = self.scores(windows)
         self.threshold.fit(self.training_scores)
+        self._fit_quantized_tier(windows)
         if self.metrics is not None:
             loss_hist = self.metrics.histogram(
                 f"ml.{self.name}.epoch_loss", buckets=_ERROR_BUCKETS
@@ -287,22 +344,7 @@ class LstmDetector(AnomalyDetector):
     def session_window_scores(self, windowed) -> np.ndarray:
         """Score every window of a sessionized WindowedDataset by the worst
         session-context record error it contains."""
-        # Rebuild session record groups from the windows. Sessionized
-        # windowing emits each session's windows contiguously and adjacent
-        # windows of one session overlap, so a linear connectivity pass
-        # reconstructs the per-session record lists exactly.
-        merged: list = []
-        current: Optional[set] = None
-        for window_indices in windowed.window_records:
-            indices = set(window_indices)
-            if current is not None and (indices & current):
-                current |= indices
-            else:
-                if current is not None:
-                    merged.append(sorted(current))
-                current = indices
-        if current is not None:
-            merged.append(sorted(current))
+        merged = merge_session_groups(windowed.window_records)
         record_errors = self.record_errors(windowed.per_record, merged)
         return np.array(
             [
@@ -314,8 +356,43 @@ class LstmDetector(AnomalyDetector):
     def fit_with_session_context(self, windowed, **train_kwargs):
         """Train on the dataset's windows, then fit the threshold on
         session-context scores (keeps train/serve scoring identical)."""
-        report = self._train(self._check(windowed.windows), **train_kwargs)
+        windows = self._check(windowed.windows)
+        report = self._train(windows, **train_kwargs)
         self._compiled = None  # weights changed: any kernel snapshot is stale
         self.training_scores = self.session_window_scores(windowed)
         self.threshold.fit(self.training_scores)
+        # Quantized tier: calibrate, then fit its threshold on quantized
+        # *session-context* scores — same scoring semantics the threshold
+        # above uses in float64.
+        self.calibration = None
+        self.quantized_threshold = None
+        if self._megabatch is not None and self._megabatch.quantized:
+            from repro.megabatch.quantized import (
+                QuantizedLstmEngine,
+                calibrate_windows,
+            )
+
+            self.calibration = calibrate_windows(windows, self._megabatch)
+            engine = QuantizedLstmEngine(self, self.calibration, self._megabatch)
+            self.quantized_threshold = PercentileThreshold(
+                percentile=self.threshold.percentile
+            )
+            self.quantized_threshold.fit(engine.session_window_scores(windowed))
         return report
+
+    def _fit_quantized_threshold(self, windows: np.ndarray) -> None:
+        """Fit the quantized tier's operating threshold on its own scores.
+
+        A fresh engine snapshots the just-trained weights; its window-mode
+        training scores define the percentile operating point in quantized
+        score space (mirroring how the float64 threshold is fit on float64
+        training scores).
+        """
+        from repro.megabatch.quantized import QuantizedLstmEngine
+
+        engine = QuantizedLstmEngine(self, self.calibration, self._megabatch)
+        quantized_scores = engine.window_scores(windows, self.window)
+        self.quantized_threshold = PercentileThreshold(
+            percentile=self.threshold.percentile
+        )
+        self.quantized_threshold.fit(quantized_scores)

@@ -135,6 +135,51 @@ class Histogram:
             self._reservoir[self._ring] = value
             self._ring = (self._ring + 1) % RESERVOIR_CAP
 
+    def observe_many(self, values) -> None:
+        """Bulk-observe a numeric array (the megabatch per-tick path).
+
+        Equivalent to ``for v in values: observe(v)`` for every exported
+        statistic except ``total``, whose float summation order may differ
+        in the last bits (vectorized pairwise sum vs sequential adds) —
+        histogram internals sit outside the scoring bit-identity contract.
+        Accepts any sequence; uses numpy (imported lazily, keeping this
+        module stdlib-only at import time) when available for O(log b)
+        work per bucket instead of per value.
+        """
+        try:
+            import numpy as np
+        except ImportError:
+            for value in values:
+                self.observe(value)
+            return
+        arr = np.asarray(values, dtype=np.float64).ravel()
+        if arr.size == 0:
+            return
+        self.count += int(arr.size)
+        self.total += float(arr.sum())
+        lo = float(arr.min())
+        hi = float(arr.max())
+        if self.min is None or lo < self.min:
+            self.min = lo
+        if self.max is None or hi > self.max:
+            self.max = hi
+        # Cumulative "le" bucket fill. observe() places v via
+        # bisect_left(buckets, v), i.e. bucket i holds (buckets[i-1],
+        # buckets[i]] — so the cumulative count at boundary b is
+        # #{v <= b} = searchsorted(sorted, b, side="right").
+        sorted_arr = np.sort(arr)
+        edges = np.searchsorted(sorted_arr, np.asarray(self.buckets), side="right")
+        per_bucket = np.diff(np.concatenate(([0], edges, [arr.size])))
+        for i, n in enumerate(per_bucket):
+            if n:
+                self.bucket_counts[i] += int(n)
+        for value in arr.tolist():
+            if len(self._reservoir) < RESERVOIR_CAP:
+                self._reservoir.append(value)
+            else:
+                self._reservoir[self._ring] = value
+                self._ring = (self._ring + 1) % RESERVOIR_CAP
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0

@@ -65,6 +65,7 @@ class InferencePool:
         self._batch_buf: Optional[np.ndarray] = None
         self.windows_scored = 0
         self.batches = 0
+        self.callback_errors = 0
         self.name = name
         metrics = metrics or MetricsRegistry()
         # Every series carries a {pool=...} label so multiple pools (the
@@ -78,6 +79,11 @@ class InferencePool:
             labels=pool_label,
             buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256, 512),
             help="windows scored per detector call",
+        )
+        self._callback_errors_counter = metrics.counter(
+            "pool.callback_errors_total",
+            labels=pool_label,
+            help="score callbacks that raised during flush",
         )
         self._wall_hist = metrics.histogram(
             "pool.inference_wall_s",
@@ -145,6 +151,10 @@ class InferencePool:
         for index, (worker, _, _, _) in enumerate(pending):
             groups.setdefault(worker, []).append(index)
         now = self._clock()
+        # A raising callback must not drop the other verdicts in the batch:
+        # every computed score is delivered, failures are collected and the
+        # first one re-raised after the loop.
+        failures: list[BaseException] = []
         for worker in self._worker_names:
             indices = groups.get(worker)
             if not indices:
@@ -163,7 +173,14 @@ class InferencePool:
             self._worker_counters[worker].inc(len(indices))
             self.windows_scored += len(indices)
             for row, i in enumerate(indices):
-                pending[i][3](float(scores[row]), completed)
+                try:
+                    pending[i][3](float(scores[row]), completed)
+                except Exception as exc:  # noqa: BLE001 - reported below
+                    self.callback_errors += 1
+                    self._callback_errors_counter.inc()
+                    failures.append(exc)
+        if failures:
+            raise failures[0]
         return len(pending)
 
     def _gather(self, pending: list, indices: List[int]) -> np.ndarray:
@@ -186,4 +203,5 @@ class InferencePool:
             "windows_scored": self.windows_scored,
             "batches": self.batches,
             "pending": self.pending,
+            "callback_errors": self.callback_errors,
         }

@@ -1,0 +1,752 @@
+"""Tests for repro.megabatch: per-tick batched scoring, the quantized
+int8 tier, session eviction, and the hot-path scoring bugfixes.
+
+The contracts enforced here:
+
+- defaults are the seed path (no arena, no batching, no eviction);
+- float64 megabatch scoring produces bit-identical AnomalyEvents to the
+  seed per-session path on every attack scenario;
+- the quantized tier's Table-2-style detection metrics stay within
+  ``MegabatchSettings.quantized_metric_tol`` of the float64 path per
+  attack scenario;
+- a quiet short session is scored exactly once no matter how many times
+  it was touched (single pending maturity check);
+- per-session state is bounded: release- and idle-driven eviction drop
+  every per-session structure;
+- a raising score callback cannot drop other verdicts in a pool flush.
+"""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    BlindDosAttack,
+    BtsDosAttack,
+    DownlinkIdExtractionAttack,
+    NullCipherAttack,
+    UplinkIdExtractionAttack,
+)
+from repro.core import SixGXSec, XsecConfig
+from repro.core.framework import build_detector
+from repro.core.mobiwatch import RRC_RELEASE_MSG, MobiWatchXApp
+from repro.experiments.datasets import (
+    AttackDatasetConfig,
+    BenignDatasetConfig,
+    generate_attack_dataset,
+    generate_benign_dataset,
+)
+from repro.hotpath.settings import HotpathSettings
+from repro.megabatch import (
+    MegabatchSettings,
+    QuantizedLstmEngine,
+    calibrate_windows,
+)
+from repro.megabatch.bench import (
+    MEGABATCH_SPEEDUP_MIN,
+    QUANTIZED_SPEEDUP_MIN,
+    MegabatchBenchResult,
+    violations,
+)
+from repro.ml.detector import AutoencoderDetector, LstmDetector
+from repro.ml.metrics import DetectionMetrics
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.oran.e2ap import RicIndication
+from repro.oran.e2sm_kpm import MOBIFLOW_RAN_FUNCTION_ID, MobiFlowKpmModel
+from repro.oran.ric import NearRtRic
+from repro.ran.core_network import AmfConfig
+from repro.ran.links import InterfaceLink
+from repro.ran.network import NetworkConfig
+from repro.scale.pool import InferencePool
+from repro.sim import Simulator
+from repro.telemetry.mobiflow import MobiFlowRecord
+
+
+# ---------------------------------------------------------------------------
+# settings
+
+
+class TestMegabatchSettings:
+    def test_defaults_are_seed_path(self):
+        settings = MegabatchSettings()
+        assert not settings.enabled
+        assert not settings.quantized
+        assert not settings.batching_enabled
+        assert not settings.eviction_enabled
+        assert not settings.any_enabled
+        assert XsecConfig().megabatch == settings
+
+    def test_quantized_implies_batching(self):
+        assert MegabatchSettings(quantized=True).batching_enabled
+        assert MegabatchSettings(quantized=True).any_enabled
+
+    def test_eviction_switches(self):
+        assert MegabatchSettings(evict_on_release=True).eviction_enabled
+        assert MegabatchSettings(evict_idle_s=3.0).eviction_enabled
+        assert MegabatchSettings(evict_idle_s=3.0).any_enabled
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"state_dtype": "float64"},
+            {"calibration": "kl"},
+            {"calibration_percentile": 0.0},
+            {"calibration_percentile": 101.0},
+            {"evict_idle_s": -1.0},
+            {"evict_sweep_s": 0.0},
+            {"quantized_metric_tol": 0.0},
+        ],
+    )
+    def test_invalid_settings_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            MegabatchSettings(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# histogram bulk observation (the batched score-handling path)
+
+
+class TestObserveMany:
+    BUCKETS = (0.1, 0.5, 1.0, 5.0)
+
+    def test_matches_sequential_observes(self):
+        rng = np.random.default_rng(3)
+        values = rng.random(500) * 6.0
+        # Exercise the boundary placement explicitly: values exactly on a
+        # bucket edge must land in the same bucket either way.
+        values = np.concatenate([values, np.asarray(self.BUCKETS), [0.0, 7.0]])
+        one = Histogram(buckets=self.BUCKETS)
+        for value in values:
+            one.observe(value)
+        many = Histogram(buckets=self.BUCKETS)
+        many.observe_many(values)
+        assert many.count == one.count
+        assert many.bucket_counts == one.bucket_counts
+        assert many.min == one.min
+        assert many.max == one.max
+        # total is documented as equal up to summation order.
+        assert many.total == pytest.approx(one.total, rel=1e-12)
+        assert many.percentile(50) == one.percentile(50)
+
+    def test_incremental_calls_accumulate(self):
+        hist = Histogram(buckets=self.BUCKETS)
+        hist.observe_many([0.05, 0.2])
+        hist.observe(0.7)
+        hist.observe_many([2.0])
+        assert hist.count == 4
+        assert hist.bucket_counts == [1, 1, 1, 1, 0]
+
+    def test_empty_is_noop(self):
+        hist = Histogram(buckets=self.BUCKETS)
+        hist.observe_many([])
+        assert hist.count == 0
+        assert hist.min is None
+
+
+# ---------------------------------------------------------------------------
+# quantized engine units
+
+
+def _tiny_lstm(seed=5, window=4, dim=6):
+    rng = np.random.default_rng(seed)
+    windows = rng.random((60, window * dim)) * 0.2
+    detector = LstmDetector(window=window, feature_dim=dim, hidden_dim=8, seed=seed)
+    detector.fit(windows, epochs=2)
+    return detector, windows
+
+
+class TestQuantizedEngine:
+    def test_requires_lstm(self):
+        detector = AutoencoderDetector(window=4, feature_dim=6, seed=0)
+        calibration = calibrate_windows(np.random.default_rng(0).random((4, 24)))
+        with pytest.raises(TypeError):
+            QuantizedLstmEngine(detector, calibration)
+
+    def test_calibration_minmax_and_percentile(self):
+        windows = np.zeros((3, 8))
+        windows[0, 0] = 2.54
+        minmax = calibrate_windows(windows)
+        assert minmax.method == "minmax"
+        assert minmax.input_scale == pytest.approx(2.54 / 127.0)
+        pct = calibrate_windows(
+            windows, MegabatchSettings(calibration="percentile", calibration_percentile=50.0)
+        )
+        # The median of |x| excludes the outlier: a smaller scale.
+        assert pct.input_scale < minmax.input_scale
+
+    def test_live_steps_match_offline_replay(self):
+        detector, windows = _tiny_lstm()
+        calibration = calibrate_windows(windows)
+        engine = QuantizedLstmEngine(detector, calibration)
+        rows = windows[0].reshape(detector.window, detector.feature_dim)
+        for row in rows:
+            engine.megastep([9], row.reshape(1, -1))
+        live = engine.window_score(9)
+        offline = float(engine.record_errors_for_rows(rows).max())
+        assert live == pytest.approx(offline, rel=1e-6)
+        assert np.isfinite(live)
+
+    def test_release_frees_slot(self):
+        detector, windows = _tiny_lstm()
+        engine = QuantizedLstmEngine(detector, calibrate_windows(windows))
+        engine.megastep([1, 2], windows[:2, : detector.feature_dim])
+        assert engine.session_count(1) == 1
+        assert engine.release(1)
+        assert not engine.release(1)
+        assert engine.sessions == 1
+        assert engine.session_count(1) == 0
+        with pytest.raises(KeyError):
+            engine.window_score(1)
+
+    def test_fit_populates_calibration_and_threshold(self):
+        detector, windows = _tiny_lstm(seed=11)
+        detector.attach_megabatch(MegabatchSettings(quantized=True))
+        detector.fit(windows, epochs=2)
+        assert detector.calibration is not None
+        assert detector.quantized_threshold is not None
+        assert detector.quantized_threshold.threshold is not None
+
+
+# ---------------------------------------------------------------------------
+# unit harness (mirrors tests/test_core_units.py)
+
+
+def make_ric(seed=0):
+    sim = Simulator(seed=seed)
+    e2 = InterfaceLink(sim, "E2")
+    e2.connect(a_handler=lambda m: None, b_handler=lambda m: None)
+    return sim, NearRtRic(sim, e2)
+
+
+def record(t, msg, session=1, rnti=0x10, **kwargs):
+    defaults = dict(protocol="RRC", direction="UL")
+    defaults.update(kwargs)
+    return MobiFlowRecord(
+        timestamp=t, msg=msg, session_id=session, rnti=rnti, **defaults
+    )
+
+
+def indication(records, request_id=1, seq=1):
+    header, message = MobiFlowKpmModel.encode_indication(records)
+    return RicIndication(
+        ric_request_id=request_id,
+        ran_function_id=MOBIFLOW_RAN_FUNCTION_ID,
+        sequence_number=seq,
+        indication_header=header,
+        indication_message=message,
+    )
+
+
+def trained_detector(config, seed=0):
+    rng = np.random.default_rng(seed)
+    windows = rng.random((80, config.window * config.spec.dim)) * 0.1
+    detector = AutoencoderDetector(
+        window=config.window, feature_dim=config.spec.dim, seed=seed
+    )
+    detector.fit(windows, epochs=2)
+    return detector
+
+
+class TestMaturityTimer:
+    """Satellite bugfix: one pending maturity check per short session."""
+
+    def test_quiet_short_session_scored_once_under_repeated_touches(self):
+        config = XsecConfig()
+        sim, ric = make_ric()
+        watch = MobiWatchXApp(ric, config)
+        watch.deploy_detector(trained_detector(config))
+        # Four separate touches, all leaving the session short (< window).
+        for i in range(4):
+            watch.on_indication(
+                indication([record(0.05 * i, "RRCSetupRequest")], seq=i + 1)
+            )
+            # The fix: every touch re-arms the same single check.
+            assert len(watch._pending_maturity) == 1
+        sim.run(until=5.0)
+        assert watch.windows_scored == 1
+        assert watch._pending_maturity == {}
+
+    def test_multiple_records_per_indication_arm_one_check(self):
+        config = XsecConfig()
+        sim, ric = make_ric()
+        watch = MobiWatchXApp(ric, config)
+        watch.deploy_detector(trained_detector(config))
+        batch = [record(0.0, "RRCSetupRequest"), record(0.05, "RRCSetup")]
+        watch.on_indication(indication(batch))
+        assert len(watch._pending_maturity) == 1
+        sim.run(until=5.0)
+        assert watch.windows_scored == 1
+
+    def test_progressed_session_still_skips_stale_check(self):
+        config = XsecConfig()
+        sim, ric = make_ric()
+        watch = MobiWatchXApp(ric, config)
+        watch.deploy_detector(trained_detector(config))
+        watch.on_indication(indication([record(0.0, "RRCSetupRequest")]))
+        sim.schedule(
+            0.4,
+            lambda: watch.on_indication(indication([record(0.4, "RRCSetup")], seq=2)),
+        )
+        sim.run(until=5.0)
+        assert watch.windows_scored == 1
+
+
+class TestEviction:
+    """Satellite bugfix: per-session state is bounded, not grow-forever."""
+
+    @staticmethod
+    def _watch(megabatch, seed=0):
+        config = XsecConfig(megabatch=megabatch)
+        sim, ric = make_ric(seed)
+        watch = MobiWatchXApp(ric, config)
+        watch.deploy_detector(trained_detector(config))
+        return sim, watch
+
+    def test_release_scores_final_window_and_drops_state(self):
+        sim, watch = self._watch(MegabatchSettings(evict_on_release=True))
+        batch = [record(0.1 * i, "RRCSetup") for i in range(5)]
+        batch.append(record(0.6, RRC_RELEASE_MSG))
+        watch.on_indication(indication(batch))
+        # 6 records = a full window: scored in the tick, then evicted.
+        assert watch.windows_scored == 1
+        assert watch.sessions_evicted == 1
+        assert watch._session_records == {}
+        assert watch._alerted_counts == {}
+        assert watch._pending_maturity == {}
+
+    def test_released_short_session_scored_immediately(self):
+        sim, watch = self._watch(MegabatchSettings(evict_on_release=True))
+        batch = [record(0.0, "RRCSetupRequest"), record(0.1, RRC_RELEASE_MSG)]
+        watch.on_indication(indication(batch))
+        # No maturity wait: the release closed the session, so its padded
+        # final window was evaluated right away and the state dropped.
+        assert watch.windows_scored == 1
+        assert watch.sessions_evicted == 1
+        assert watch._pending_maturity == {}
+        assert watch._session_records == {}
+
+    def test_idle_sweep_evicts_stale_sessions(self):
+        sim, watch = self._watch(
+            MegabatchSettings(evict_idle_s=1.0, evict_sweep_s=0.5)
+        )
+        batch = [record(0.1 * i, "RRCSetup", session=7) for i in range(6)]
+        watch.on_indication(indication(batch))
+        assert 7 in watch._session_records
+        # Pull the sim clock past the idle horizon, then run the sweep.
+        sim.schedule(2.0, lambda: None)
+        sim.run(until=3.0)
+        watch._evict_sweep()
+        assert 7 not in watch._session_records
+        assert 7 not in watch._last_touch
+        assert watch.sessions_evicted == 1
+
+    def test_evicted_counter_exported(self):
+        sim, watch = self._watch(MegabatchSettings(evict_on_release=True))
+        watch.on_indication(
+            indication([record(0.0, "RRCSetup"), record(0.1, RRC_RELEASE_MSG)])
+        )
+        counter = sim.obs.metrics.counter("mobiwatch.sessions_evicted_total")
+        assert int(counter.value) == 1
+
+    def test_seed_config_never_evicts(self):
+        config = XsecConfig()
+        sim, ric = make_ric()
+        watch = MobiWatchXApp(ric, config)
+        watch.deploy_detector(trained_detector(config))
+        batch = [record(0.1 * i, "RRCSetup") for i in range(5)]
+        batch.append(record(0.6, RRC_RELEASE_MSG))
+        watch.on_indication(indication(batch))
+        sim.run(until=5.0)
+        assert watch.sessions_evicted == 0
+        assert 1 in watch._session_records
+
+
+class TestPoolCallbackErrors:
+    """Satellite bugfix: a raising callback cannot drop other verdicts."""
+
+    @staticmethod
+    def row_sums(matrix):
+        return matrix.sum(axis=1)
+
+    def test_all_callbacks_delivered_and_error_reraised(self):
+        metrics = MetricsRegistry()
+        pool = InferencePool(self.row_sums, batch_windows=100, metrics=metrics)
+        seen = []
+
+        def bad(score, done):
+            raise RuntimeError("observer broke")
+
+        pool.submit(1, np.full(2, 1.0), lambda s, t: seen.append(s))
+        pool.submit(2, np.full(2, 2.0), bad)
+        pool.submit(3, np.full(2, 3.0), lambda s, t: seen.append(s))
+        with pytest.raises(RuntimeError, match="observer broke"):
+            pool.flush()
+        # The two healthy callbacks both ran despite the middle one raising.
+        assert seen == [2.0, 6.0]
+        assert pool.pending == 0
+        assert pool.windows_scored == 3
+        assert pool.callback_errors == 1
+        assert pool.stats()["callback_errors"] == 1
+        counter = metrics.counter("pool.callback_errors_total", labels={"pool": "pool"})
+        assert int(counter.value) == 1
+
+    def test_failure_in_one_worker_does_not_skip_others(self):
+        pool = InferencePool(self.row_sums, workers=3, batch_windows=100)
+        delivered = []
+        for i in range(12):
+            callback = (
+                (lambda s, t: (_ for _ in ()).throw(RuntimeError("boom")))
+                if i == 0
+                else (lambda s, t: delivered.append(s))
+            )
+            pool.submit(i, np.full(2, float(i)), callback)
+        with pytest.raises(RuntimeError):
+            pool.flush()
+        assert pool.windows_scored == 12
+        assert len(delivered) == 11
+        assert pool.callback_errors == 1
+
+
+# ---------------------------------------------------------------------------
+# live pipeline equality (the tentpole's float64 contract)
+
+
+@pytest.fixture(scope="module")
+def benign_capture():
+    return generate_benign_dataset(
+        BenignDatasetConfig(duration_s=90.0, ue_mix=(("pixel5", 1), ("oai_ue", 1)))
+    )
+
+
+@pytest.fixture(scope="module")
+def benign_windows(benign_capture):
+    config = XsecConfig()
+    return benign_capture.labeled(config.spec, config.window, "benign").windowed.windows
+
+
+@pytest.fixture(scope="module")
+def trained_lstm(benign_windows):
+    config = XsecConfig(detector="lstm", train_epochs=6)
+    detector = build_detector(config)
+    detector.fit(np.asarray(benign_windows), epochs=6, lr=config.train_lr)
+    return detector
+
+
+@pytest.fixture(scope="module")
+def trained_autoencoder(benign_windows):
+    config = XsecConfig(detector="autoencoder", train_epochs=6)
+    detector = build_detector(config)
+    detector.fit(np.asarray(benign_windows), epochs=6, lr=config.train_lr)
+    return detector
+
+
+def _uplink_extraction(net):
+    victim = net.add_ue("pixel6", name="victim")
+    net.sim.schedule(2.5, victim.start_session)
+    return UplinkIdExtractionAttack(net, victim=victim, start_time=2.0, duration_s=10.0)
+
+
+def _downlink_extraction(net):
+    victim = net.add_ue("pixel6", name="victim")
+    net.sim.schedule(2.5, victim.start_session)
+    return DownlinkIdExtractionAttack(net, victim=victim, start_time=2.0, duration_s=10.0)
+
+
+# name -> (attack factory taking the live network, extra NetworkConfig kwargs)
+ATTACK_SCENARIOS = {
+    "bts_dos": (
+        lambda net: BtsDosAttack(net, start_time=3.0, connections=8, interval_s=0.08),
+        {},
+    ),
+    "blind_dos": (
+        lambda net: BlindDosAttack(net, victim=net.ues[0], start_time=3.0, replays=5),
+        {},
+    ),
+    "uplink_id_extraction": (_uplink_extraction, {}),
+    "downlink_id_extraction": (_downlink_extraction, {}),
+    "null_cipher": (
+        lambda net: NullCipherAttack(net, start_time=3.0),
+        {"amf": AmfConfig(allow_null_algorithms=True)},
+    ),
+}
+
+
+def run_live(detector, megabatch=None, hotpath=None, attack=None, seed=77, until=20.0, net_kwargs=None):
+    """One live pipeline run with a pre-trained detector copy deployed."""
+    config = XsecConfig(
+        detector=detector.name,
+        train_epochs=6,
+        hotpath=hotpath or HotpathSettings(),
+        megabatch=megabatch or MegabatchSettings(),
+    )
+    xsec = SixGXSec(config, network_config=NetworkConfig(seed=seed, **(net_kwargs or {})))
+    xsec.deploy_detector(copy.deepcopy(detector))
+    for profile in ("pixel5", "oai_ue"):
+        ue = xsec.net.add_ue(profile)
+        xsec.net.sim.schedule(0.5, ue.start_session)
+    if attack is not None:
+        attack(xsec.net).arm()
+    xsec.run(until=until)
+    return xsec
+
+
+def event_tuples(xsec):
+    return [
+        (
+            e.detected_at,
+            e.session_id,
+            e.rnti,
+            e.s_tmsi,
+            e.score,
+            e.threshold,
+            e.record_indices,
+            e.newest_record_ts,
+        )
+        for e in xsec.mobiwatch.anomalies
+    ]
+
+
+class TestDefaultsAreSeedPath:
+    def test_default_config_keeps_seed_components(self, trained_autoencoder):
+        xsec = SixGXSec(XsecConfig())
+        assert xsec.mobiwatch._arena is None
+        xsec.deploy_detector(copy.deepcopy(trained_autoencoder))
+        assert xsec.mobiwatch._quantized is None
+        assert xsec.mobiwatch._mb_gather is False
+        assert xsec.mobiwatch._track_touch is False
+        assert xsec.mobiwatch._scoring_path == "seed"
+
+    def test_megabatch_enables_arena_and_gather(self, trained_autoencoder):
+        xsec = SixGXSec(XsecConfig(megabatch=MegabatchSettings(enabled=True)))
+        assert xsec.mobiwatch._arena is not None
+        xsec.deploy_detector(copy.deepcopy(trained_autoencoder))
+        assert xsec.mobiwatch._mb_gather is True
+        assert "megabatch" in xsec.mobiwatch._scoring_path
+
+    def test_quantized_needs_calibrated_lstm(self, trained_lstm):
+        # The fixture LSTM was fitted without megabatch attached: no
+        # calibration pass ran, so the quantized tier degrades to the
+        # float gather path (with a log line), never a crash.
+        xsec = SixGXSec(XsecConfig(detector="lstm", megabatch=MegabatchSettings(quantized=True)))
+        xsec.deploy_detector(copy.deepcopy(trained_lstm))
+        assert xsec.mobiwatch._quantized is None
+        assert xsec.mobiwatch._mb_gather is True
+
+
+class TestMegabatchScenarioEquality:
+    """The float64 contract: megabatch AnomalyEvents == seed, per attack."""
+
+    @pytest.mark.parametrize(
+        "scenario", sorted(ATTACK_SCENARIOS), ids=sorted(ATTACK_SCENARIOS)
+    )
+    def test_megabatch_f64_bit_identical_to_seed(self, trained_lstm, scenario):
+        factory, net_kwargs = ATTACK_SCENARIOS[scenario]
+        seed_run = run_live(
+            trained_lstm, attack=factory, net_kwargs=net_kwargs
+        )
+        mega = run_live(
+            trained_lstm,
+            megabatch=MegabatchSettings(enabled=True),
+            attack=factory,
+            net_kwargs=net_kwargs,
+        )
+        assert mega.mobiwatch._mb_gather is True
+        assert mega.mobiwatch.records_seen == seed_run.mobiwatch.records_seen
+        assert mega.mobiwatch.windows_scored == seed_run.mobiwatch.windows_scored
+        assert mega.mobiwatch.windows_scored > 0
+        assert event_tuples(mega) == event_tuples(seed_run)
+
+    def test_megabatch_f32_no_threshold_flips(self, trained_lstm):
+        factory, net_kwargs = ATTACK_SCENARIOS["bts_dos"]
+        seed_run = run_live(trained_lstm, attack=factory, net_kwargs=net_kwargs)
+        f32 = run_live(
+            trained_lstm,
+            megabatch=MegabatchSettings(enabled=True),
+            hotpath=HotpathSettings(compiled=True, dtype="float32"),
+            attack=factory,
+            net_kwargs=net_kwargs,
+        )
+        ref_events = event_tuples(seed_run)
+        f32_events = event_tuples(f32)
+        # Same flagged windows in the same order, scores within the
+        # documented float32 tolerance.
+        assert [e[:4] + (e[6], e[7]) for e in f32_events] == [
+            e[:4] + (e[6], e[7]) for e in ref_events
+        ]
+        settings = HotpathSettings()
+        for ref, fast in zip(ref_events, f32_events):
+            assert np.isclose(ref[4], fast[4], rtol=settings.float32_rtol, atol=1e-6)
+
+
+class TestQuantizedLive:
+    def test_quantized_tier_scores_live_traffic(self, benign_windows):
+        config = XsecConfig(
+            detector="lstm",
+            train_epochs=6,
+            megabatch=MegabatchSettings(quantized=True, evict_on_release=True),
+        )
+        detector = build_detector(config)
+        detector.fit(np.asarray(benign_windows), epochs=6, lr=config.train_lr)
+        assert detector.calibration is not None
+        xsec = SixGXSec(config, network_config=NetworkConfig(seed=77))
+        xsec.deploy_detector(detector)
+        assert xsec.mobiwatch._quantized is not None
+        assert xsec.mobiwatch._scoring_path.startswith("quantized-int8-")
+        for profile in ("pixel5", "oai_ue"):
+            ue = xsec.net.add_ue(profile)
+            xsec.net.sim.schedule(0.5, ue.start_session)
+        xsec.run(until=20.0)
+        assert xsec.mobiwatch.windows_scored > 0
+        assert xsec.mobiwatch.sessions_evicted > 0
+        # Eviction bounded the carried state to the still-live sessions.
+        engine = xsec.mobiwatch._quantized
+        assert engine.sessions == len(xsec.mobiwatch._session_records)
+
+
+# ---------------------------------------------------------------------------
+# quantized accuracy contract (Table-2 metrics per attack scenario)
+
+
+# One small capture per scenario: the benign background plus instances of
+# a single attack type (the Table 2 methodology, narrowed per scenario).
+SCENARIO_CAPTURES = {
+    "bts_dos": dict(bts_dos_instances=2),
+    "blind_dos": dict(blind_dos_instances=2),
+    "uplink_id_extraction": dict(uplink_id_instances=2),
+    "downlink_id_extraction": dict(downlink_id_instances=2),
+    "null_cipher": dict(null_cipher_instances=2),
+}
+
+
+@pytest.fixture(scope="module")
+def quantized_lstm(benign_capture):
+    """An LSTM fitted with the megabatch calibration pass attached."""
+    config = XsecConfig()
+    detector = LstmDetector(
+        window=config.window, feature_dim=config.spec.dim, percentile=97.5, seed=7
+    )
+    detector.attach_megabatch(MegabatchSettings(quantized=True))
+    benign = benign_capture.labeled(config.spec, config.window, "benign")
+    detector.fit_with_session_context(benign.windowed, epochs=6, lr=2e-3)
+    assert detector.calibration is not None
+    assert detector.quantized_threshold is not None
+    return detector
+
+
+def _metric_values(metrics: DetectionMetrics) -> dict:
+    return {
+        "accuracy": metrics.accuracy,
+        "precision": metrics.precision,
+        "recall": metrics.recall,
+        "f1": metrics.f1,
+    }
+
+
+class TestQuantizedAccuracyContract:
+    @pytest.mark.parametrize(
+        "scenario", sorted(SCENARIO_CAPTURES), ids=sorted(SCENARIO_CAPTURES)
+    )
+    def test_table2_metrics_within_tolerance(self, quantized_lstm, scenario):
+        settings = MegabatchSettings(quantized=True)
+        config = XsecConfig()
+        instances = dict(
+            bts_dos_instances=0,
+            blind_dos_instances=0,
+            uplink_id_instances=0,
+            downlink_id_instances=0,
+            null_cipher_instances=0,
+        )
+        instances.update(SCENARIO_CAPTURES[scenario])
+        capture = generate_attack_dataset(
+            AttackDatasetConfig(
+                duration_s=60.0,
+                background_ue_mix=(("pixel5", 1), ("oai_ue", 1)),
+                **instances,
+            )
+        )
+        attack = capture.labeled(config.spec, config.window, "attack")
+        labels = attack.window_labels
+        assert labels.any(), "scenario capture produced no positive windows"
+
+        detector = quantized_lstm
+        f64_scores = detector.session_window_scores(attack.windowed)
+        f64_preds = detector.threshold.classify(f64_scores)
+        engine = QuantizedLstmEngine(detector, detector.calibration, settings)
+        q_scores = engine.session_window_scores(attack.windowed)
+        q_preds = detector.quantized_threshold.classify(q_scores)
+
+        f64_metrics = _metric_values(DetectionMetrics.from_labels(labels, f64_preds))
+        q_metrics = _metric_values(DetectionMetrics.from_labels(labels, q_preds))
+        for name in f64_metrics:
+            ref, quant = f64_metrics[name], q_metrics[name]
+            if ref is None or quant is None:
+                assert ref == quant, f"{scenario}/{name}: one side undefined"
+                continue
+            assert abs(ref - quant) <= settings.quantized_metric_tol, (
+                f"{scenario}/{name}: float64 {ref:.4f} vs quantized {quant:.4f} "
+                f"exceeds tol {settings.quantized_metric_tol}"
+            )
+
+
+# ---------------------------------------------------------------------------
+# bench gating logic
+
+
+def _passing_result():
+    return MegabatchBenchResult(
+        tiers={
+            "lstm": {
+                "pooled_sessions_per_s": 10_000.0,
+                "megabatch_speedup": MEGABATCH_SPEEDUP_MIN + 1.0,
+                "quantized_speedup": QUANTIZED_SPEEDUP_MIN + 1.0,
+            },
+            "autoencoder": {
+                "pooled_sessions_per_s": 20_000.0,
+                "megabatch_speedup": MEGABATCH_SPEEDUP_MIN + 1.0,
+            },
+        },
+        equality={
+            "megabatch_f64_exact_lstm": True,
+            "megabatch_f32_close_lstm": True,
+            "quantized_finite": True,
+            "quantized_decision_agreement": 0.95,
+        },
+        meta={"sessions": 1024},
+    )
+
+
+class TestBenchGates:
+    def test_passing_result_has_no_violations(self):
+        assert violations(_passing_result()) == []
+
+    def test_speedup_floor_enforced(self):
+        result = _passing_result()
+        result.tiers["lstm"]["megabatch_speedup"] = MEGABATCH_SPEEDUP_MIN - 0.5
+        assert any("below floor" in v for v in violations(result))
+
+    def test_quantized_floor_enforced(self):
+        result = _passing_result()
+        result.tiers["lstm"]["quantized_speedup"] = QUANTIZED_SPEEDUP_MIN - 0.5
+        assert any("quantized" in v for v in violations(result))
+
+    def test_equality_break_is_fatal(self):
+        result = _passing_result()
+        result.equality["megabatch_f64_exact_lstm"] = False
+        assert any("equality contract" in v for v in violations(result))
+
+    def test_agreement_ratio_is_informational_not_gated(self):
+        result = _passing_result()
+        result.equality["quantized_decision_agreement"] = 0.1
+        assert violations(result) == []
+
+    def test_baseline_regression_detected(self):
+        result = _passing_result()
+        baseline = _passing_result().to_dict()
+        baseline["tiers"]["lstm"]["megabatch_speedup"] = 100.0
+        assert any("regressed" in v for v in violations(result, baseline))
+
+    def test_baseline_within_slack_passes(self):
+        result = _passing_result()
+        baseline = _passing_result().to_dict()
+        assert violations(result, baseline) == []
