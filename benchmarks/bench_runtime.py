@@ -1,0 +1,93 @@
+"""Bench R1 — process-parallel runtime (repro.runtime).
+
+Ramps the soak workload through the single-process backend (the seed's
+shape: one interpreter, inline ``[1, window*dim]`` scoring) and the
+multi-process backend (N supervised scoring workers + SDL shards + the
+analyzer over Unix sockets), then runs the mid-run ``kill -9`` fault
+trial on the multi-process topology.
+
+Floors are CPU-gated (see ``repro.runtime.bench``):
+
+- >= 4 usable CPUs: multi-process must sustain >= 1.5x the
+  single-process rate under the 1 s near-RT budget;
+- < 4 usable CPUs: the documented serial-fallback floor (0.35x) applies
+  instead — real parallelism is unavailable, so the gate becomes "the
+  process topology's transport tax stays bounded".
+
+The fault trial's checks are unconditional either way: zero acked-write
+loss, the killed worker restarts, and the trial completes inside the
+SLO. Gates against the committed ``BENCH_runtime.json`` at the repo
+root; baseline speedup comparison only applies within the same floor
+regime (``floor_applied`` in the baseline).
+
+Runs two ways:
+
+- under pytest-benchmark (full run, artifacts under ``benchmarks/out/``);
+- as a plain script for CI smoke: ``python benchmarks/bench_runtime.py
+  --quick`` (no pytest-benchmark needed), exit 1 on any violated gate.
+  ``--update`` rewrites the committed baseline from a full run.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BASELINE = REPO_ROOT / "BENCH_runtime.json"
+
+
+def _run(quick):
+    from repro.runtime.bench import run_runtime_bench
+
+    return run_runtime_bench(quick=quick)
+
+
+def test_runtime(benchmark, artifact_dir):
+    from conftest import save_artifact
+
+    from repro.runtime.bench import load_baseline, violations
+
+    result = benchmark.pedantic(lambda: _run(False), rounds=1, iterations=1)
+    text = result.report()
+    save_artifact(artifact_dir, "runtime.txt", text)
+    print("\n" + text)
+    save_artifact(
+        artifact_dir,
+        "runtime.json",
+        json.dumps(result.to_dict(), indent=2, sort_keys=True),
+    )
+    failures = violations(result, load_baseline(BASELINE))
+    assert not failures, failures
+
+
+def main(argv):
+    from repro.runtime.bench import load_baseline, save_result, violations
+
+    quick = "--quick" in argv
+    update = "--update" in argv
+    result = _run(quick)
+    print(result.report())
+    if "--json" in argv:
+        out = argv[argv.index("--json") + 1]
+        with open(out, "w", encoding="utf-8") as fh:
+            json.dump(result.to_dict(), fh, indent=2, sort_keys=True)
+        print(f"snapshot -> {out}")
+    if update:
+        if quick:
+            print("refusing to update the baseline from a --quick run", file=sys.stderr)
+            return 1
+        save_result(result, BASELINE)
+        print(f"baseline updated -> {BASELINE}")
+        return 0
+    baseline = load_baseline(BASELINE)
+    if baseline is None:
+        print(f"(no committed baseline at {BASELINE}; gating on floors only)")
+    failures = violations(result, baseline)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    sys.exit(main(sys.argv[1:]))

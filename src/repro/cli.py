@@ -32,7 +32,12 @@ Gives operators the paper's workflow without writing code:
   evidence chain (``explain``) — see docs/OBSERVABILITY.md;
 - ``obs-bench`` — measure what full observability costs the inference hot
   path and gate it at the <= 3% ceiling against the committed
-  ``BENCH_obs.json`` baseline (see docs/OBSERVABILITY.md).
+  ``BENCH_obs.json`` baseline (see docs/OBSERVABILITY.md);
+- ``runtime`` — the process-parallel deployment mode: ``run`` the live
+  testbed with scoring on supervised worker processes, ``soak`` a backend
+  to the SLO edge with a mid-run ``kill -9`` fault trial, or ``bench``
+  the multi-vs-single-process speedup against ``BENCH_runtime.json``
+  (see docs/RUNTIME.md).
 """
 
 from __future__ import annotations
@@ -491,6 +496,120 @@ def _cmd_obs_bench(args: argparse.Namespace) -> int:
     return 0 if not failures else 3
 
 
+def _cmd_runtime(args: argparse.Namespace) -> int:
+    if args.action == "run":
+        return _runtime_run(args)
+    if args.action == "soak":
+        return _runtime_soak(args)
+    return _runtime_bench(args)
+
+
+def _runtime_run(args: argparse.Namespace) -> int:
+    """Live testbed with scoring in supervised worker processes."""
+    import json
+
+    from repro.core.config import XsecConfig
+    from repro.experiments.testbed import LiveTestbedConfig, run_live_testbed
+    from repro.runtime.settings import RuntimeSettings
+
+    config = XsecConfig(
+        auto_release=True,
+        auto_blocklist=True,
+        runtime=RuntimeSettings(score_in_processes=True, workers=args.workers),
+    )
+    run = run_live_testbed(
+        LiveTestbedConfig(xsec=config, live_duration_s=args.duration or 60.0)
+    )
+    try:
+        print(run.render_stage_breakdown())
+        print(f"\nsummary: {run.summary}")
+        scale = run.xsec.pipeline.scale_report()
+        health = scale.get("runtime", {})
+        pool_stats = scale.get("pool", {})
+        print(
+            f"scoring path: {run.xsec.mobiwatch._scoring_path} "
+            f"({pool_stats.get('windows_scored', 0)} windows in "
+            f"{pool_stats.get('batches', 0)} batches)"
+        )
+        for name, worker in sorted(health.items()):
+            print(f"  {name}: {worker['state']}, {worker['restarts']} restart(s)")
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                json.dump(
+                    {
+                        "summary": run.summary,
+                        "latency": run.latency,
+                        "runtime": health,
+                    },
+                    fh,
+                    indent=2,
+                    sort_keys=True,
+                )
+            print(f"runtime snapshot -> {args.json}")
+    finally:
+        run.xsec.close()
+    detection_max = run.latency["detection_s"].get("max")
+    return 0 if detection_max is not None and detection_max < 1.0 else 3
+
+
+def _runtime_soak(args: argparse.Namespace) -> int:
+    """Offered-load ramp + mid-run kill -9 fault trial on a real backend."""
+    import json
+
+    from repro.runtime.soak import SoakConfig, run_soak, smoke_config
+
+    config = smoke_config() if args.quick else SoakConfig()
+    config.backend = args.backend
+    config.workers = args.workers
+    if args.duration is not None:
+        config.duration_s = args.duration
+    if args.no_fault:
+        config.fault = False
+    result = run_soak(config)
+    print(result.render())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(result.to_dict(), fh, indent=2, sort_keys=True)
+        print(f"runtime-soak snapshot -> {args.json}")
+    failures = result.check()
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 0 if not failures else 3
+
+
+def _runtime_bench(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.runtime.bench import (
+        load_baseline,
+        run_runtime_bench,
+        save_result,
+        violations,
+    )
+
+    # The committed baseline lives at the repo root next to src/.
+    default_baseline = Path(__file__).resolve().parents[2] / "BENCH_runtime.json"
+    baseline_path = Path(args.baseline) if args.baseline else default_baseline
+    result = run_runtime_bench(quick=args.quick)
+    print(result.report())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(result.to_dict(), fh, indent=2, sort_keys=True)
+        print(f"runtime-bench snapshot -> {args.json}")
+    if args.update_baseline:
+        save_result(result, baseline_path)
+        print(f"baseline updated -> {baseline_path}")
+        return 0
+    baseline = load_baseline(baseline_path)
+    if baseline is None:
+        print(f"(no committed baseline at {baseline_path}; gating on floors only)")
+    failures = violations(result, baseline)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 0 if not failures else 3
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="6G-XSec reproduction command line"
@@ -650,6 +769,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     slo.add_argument("--json", help="write the machine-readable snapshot here")
     slo.set_defaults(func=_cmd_slo)
+
+    runtime = commands.add_parser(
+        "runtime",
+        help="process-parallel deployment mode: run the live testbed on "
+        "supervised worker processes, soak it to the SLO edge with a "
+        "mid-run kill -9, or gate the multi-vs-single-process speedup "
+        "vs BENCH_runtime.json (see docs/RUNTIME.md)",
+    )
+    runtime.add_argument(
+        "action",
+        choices=("run", "soak", "bench"),
+        help="run the live testbed on worker processes / soak a backend "
+        "with fault injection / gate the speedup floor",
+    )
+    runtime.add_argument(
+        "--backend",
+        choices=("process", "inproc", "sim"),
+        default="process",
+        help="scheduler backend for `soak` (default: process)",
+    )
+    runtime.add_argument(
+        "--workers", type=int, default=2, help="scoring worker processes"
+    )
+    runtime.add_argument(
+        "--duration",
+        type=float,
+        help="per-trial seconds for `soak`, live sim seconds for `run`",
+    )
+    runtime.add_argument(
+        "--quick", action="store_true", help="small CI-sized workload"
+    )
+    runtime.add_argument(
+        "--no-fault", action="store_true", help="skip the kill -9 fault trial"
+    )
+    runtime.add_argument("--json", help="write the machine-readable result here")
+    runtime.add_argument(
+        "--baseline", help="baseline file (default: BENCH_runtime.json at repo root)"
+    )
+    runtime.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from this run instead of gating against it",
+    )
+    runtime.set_defaults(func=_cmd_runtime)
 
     obs_bench = commands.add_parser(
         "obs-bench",

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 
 from repro.hotpath.settings import HotpathSettings
 from repro.megabatch.settings import MegabatchSettings
+from repro.runtime.settings import RuntimeSettings
 from repro.scale.settings import ScaleSettings
 from repro.slo.settings import SloSettings
 from repro.telemetry.features import FeatureSpec
@@ -83,3 +84,10 @@ class XsecConfig:
     # export, verdict provenance. Defaults keep every output bit-identical
     # to the seed (see docs/OBSERVABILITY.md).
     slo: SloSettings = field(default_factory=SloSettings)
+
+    # Process-parallel service runtime (repro.runtime): MobiWatch scoring
+    # in supervised OS worker processes over the TLV socket transport,
+    # restart-on-crash, and the `python -m repro runtime` deployment mode.
+    # Defaults keep everything in-process and bit-identical to the seed
+    # (see docs/RUNTIME.md).
+    runtime: RuntimeSettings = field(default_factory=RuntimeSettings)

@@ -144,7 +144,7 @@ class SixGXSec:
 
         job_name = f"mobiwatch-{self.config.detector}"
         self.smo.submit_training_job(
-            job_name, collect=collect, train=train, deploy=self.mobiwatch.deploy_detector
+            job_name, collect=collect, train=train, deploy=self.deploy_detector
         )
         job = self.smo.run_job(job_name)
         if job.error:
@@ -154,6 +154,15 @@ class SixGXSec:
     def deploy_detector(self, detector: AnomalyDetector) -> None:
         """Deploy an externally trained detector directly."""
         self.mobiwatch.deploy_detector(detector)
+        # The process scoring pool only exists after deployment (workers
+        # load the trained weights), so the scoreboard attaches here. The
+        # probes are keyed by worker name; re-deploys overwrite in place.
+        if (
+            self.slo is not None
+            and self.slo.scoreboard is not None
+            and self.mobiwatch.pool is not None
+        ):
+            self.slo.scoreboard.watch_pool(self.mobiwatch.pool, name=self.mobiwatch.name)
 
     # -- execution ---------------------------------------------------------------------
 
@@ -166,3 +175,22 @@ class SixGXSec:
         if self.slo is not None:
             self.slo.finalize()
         return processed
+
+    # -- teardown -----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release out-of-process resources (idempotent).
+
+        The seed deployment owns nothing outside the interpreter, so this
+        is a no-op there; with ``runtime.score_in_processes`` it drains
+        and stops the scoring worker processes.
+        """
+        pool = self.mobiwatch.pool
+        if pool is not None and not pool.closed:
+            pool.close()
+
+    def __enter__(self) -> "SixGXSec":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -239,6 +239,25 @@ class MobiWatchXApp(XApp):
                     self._quantized.warm_up(
                         session_id, self._arena.session_rows(session_id)
                     )
+        # repro.runtime: window scoring in supervised OS worker processes.
+        # Spawned at deploy time (the workers need the trained weights) and
+        # plugged into the same self.pool slot: _score_window's pool branch,
+        # _flush_pool's call sites, and the health scoreboard all apply
+        # unchanged. Bit-identity with the seed path is preserved — the
+        # workers score one [1, window*dim] call per window and the blocking
+        # flush is invisible to sim time (see docs/RUNTIME.md).
+        if self.config.runtime.score_in_processes:
+            from repro.runtime.bridge import ProcessScoringPool
+
+            if isinstance(self.pool, ProcessScoringPool):
+                self.pool.close()  # re-deploy: workers need the new weights
+            self.pool = ProcessScoringPool(
+                detector,
+                self.config.runtime,
+                metrics=self.sim.obs.metrics,
+                clock=lambda: self.sim.now,
+                name=self.name,
+            )
         # Per-tick gather batching: one fused detector call per tick. The
         # incremental scorer already pays O(1) per score, so it wins when
         # both are configured.
@@ -268,7 +287,10 @@ class MobiWatchXApp(XApp):
             and self._quantized is None
             and not self._mb_gather
         ):
-            parts.append(f"pool-{self.config.scale.pool_workers}w")
+            if self.config.runtime.score_in_processes:
+                parts.append(f"process-{self.config.runtime.workers}w")
+            else:
+                parts.append(f"pool-{self.config.scale.pool_workers}w")
         self._scoring_path = "+".join(parts) if parts else "seed"
         self.log(
             "detector deployed",

@@ -206,6 +206,11 @@ class ClosedLoopPipeline:
             report["ingest"] = batcher.stats()
         if self.mobiwatch.pool is not None:
             report["pool"] = self.mobiwatch.pool.stats()
+        supervisor = getattr(self.mobiwatch.pool, "supervisor", None)
+        if supervisor is not None:
+            # repro.runtime: per-process liveness and restart counts for
+            # the supervised scoring workers.
+            report["runtime"] = supervisor.health()
         return report
 
     # -- loop tracing (repro.obs) ---------------------------------------------------

@@ -59,6 +59,10 @@ class ScaleBenchConfig:
     flush_interval_s: float = 0.02
     capacity: int = 32768
     budget_s: float = 1.0
+    # Detector size: the default is deliberately small (sweep speed); the
+    # runtime soak raises it so inference compute dominates transport.
+    hidden_dim: int = 32
+    latent_dim: int = 8
     start_rate: float = 500.0  # records per simulated second
     rate_step: float = 1.6
     max_rate: float = 64000.0
@@ -305,8 +309,8 @@ def build_workload(
     detector = AutoencoderDetector(
         window=window,
         feature_dim=spec.dim,
-        hidden_dim=32,
-        latent_dim=8,
+        hidden_dim=config.hidden_dim,
+        latent_dim=config.latent_dim,
         seed=config.seed,
     )
     detector.fit(

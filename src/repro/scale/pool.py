@@ -66,6 +66,7 @@ class InferencePool:
         self.windows_scored = 0
         self.batches = 0
         self.callback_errors = 0
+        self.closed = False
         self.name = name
         metrics = metrics or MetricsRegistry()
         # Every series carries a {pool=...} label so multiple pools (the
@@ -134,9 +135,32 @@ class InferencePool:
 
     def submit(self, session_id: Any, vector: np.ndarray, callback: ScoreCallback) -> None:
         """Queue one flattened window; auto-flush at ``batch_windows``."""
+        if self.closed:
+            raise RuntimeError(f"pool {self.name!r} is closed")
         self._pending.append((self.worker_for(session_id), session_id, vector, callback))
         if len(self._pending) >= self.batch_windows:
             self.flush()
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> int:
+        """Deliver every pending score, then refuse further submits.
+
+        Idempotent: a second (or later) ``close`` is a no-op returning 0,
+        so a supervisor can tear a worker set down without tracking
+        whether an error path already closed it.
+        """
+        if self.closed:
+            return 0
+        delivered = self.flush()
+        self.closed = True
+        return delivered
+
+    def __enter__(self) -> "InferencePool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     def flush(self) -> int:
         """Score every pending window, one detector call per worker."""
@@ -204,4 +228,5 @@ class InferencePool:
             "batches": self.batches,
             "pending": self.pending,
             "callback_errors": self.callback_errors,
+            "closed": self.closed,
         }

@@ -382,6 +382,40 @@ class TestInferencePool:
         with pytest.raises(ValueError):
             InferencePool(self.row_sums, batch_windows=0)
 
+    def test_close_delivers_pending_then_refuses_submits(self):
+        pool = InferencePool(self.row_sums, batch_windows=100)
+        scores = []
+        for i in range(5):
+            pool.submit(i, np.full(2, float(i)), lambda s, t: scores.append(s))
+        assert pool.close() == 5
+        assert sorted(scores) == [pytest.approx(2.0 * i) for i in range(5)]
+        assert pool.closed
+        assert pool.stats()["closed"] is True
+        with pytest.raises(RuntimeError):
+            pool.submit(9, np.ones(2), lambda s, t: None)
+
+    def test_close_is_idempotent(self):
+        pool = InferencePool(self.row_sums, batch_windows=100)
+        pool.submit(0, np.ones(2), lambda s, t: None)
+        assert pool.close() == 1
+        assert pool.close() == 0
+        assert pool.close() == 0
+
+    def test_context_manager_closes_on_exit(self):
+        scores = []
+        with InferencePool(self.row_sums, batch_windows=100) as pool:
+            pool.submit(0, np.full(3, 2.0), lambda s, t: scores.append(s))
+        assert pool.closed
+        assert scores == [pytest.approx(6.0)]
+
+    def test_context_manager_closes_on_error(self):
+        pool = InferencePool(self.row_sums, batch_windows=100)
+        with pytest.raises(RuntimeError, match="boom"):
+            with pool:
+                pool.submit(0, np.ones(2), lambda s, t: None)
+                raise RuntimeError("boom")
+        assert pool.closed
+
 
 class TestScaleSettings:
     def test_defaults_keep_seed_paths_off(self):
