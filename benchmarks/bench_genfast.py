@@ -1,0 +1,88 @@
+"""Bench G1 — telemetry generation & ingest (repro.genfast).
+
+Measures the three genfast fast lanes against their seed equivalents:
+
+- end-to-end capture -> featurized-window ingest: per-record objects,
+  per-record wire and SDL writes, streaming featurization vs columnar
+  batches, packed columnar TLV, one acked SDL write per batch, one-pass
+  vectorized featurization (floor: >= 3x, CPU-gated; single-core >= 2.5x);
+- featurization alone: ``StreamingEncoder.push`` vs the vectorized
+  ``encode_batch`` (floor: >= 4x);
+- sim fleet ticking: per-member ``schedule`` vs ``schedule_batch``
+  (informational).
+
+Every run re-verifies the equality contracts (bit-identical feature
+windows, byte-identical columnar wire roundtrip) and gates against the
+committed perf baseline ``BENCH_genfast.json`` at the repo root.
+
+Runs two ways:
+
+- under pytest-benchmark (full run, artifacts under ``benchmarks/out/``);
+- as a plain script for CI smoke: ``python benchmarks/bench_genfast.py
+  --quick`` (no pytest-benchmark needed), exit 1 on any violated gate.
+  ``--update`` rewrites the committed baseline from a full run.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BASELINE = REPO_ROOT / "BENCH_genfast.json"
+
+
+def _run(quick):
+    from repro.genfast.bench import run_bench
+
+    return run_bench(quick=quick)
+
+
+def test_genfast(benchmark, artifact_dir):
+    from conftest import save_artifact
+
+    from repro.genfast.bench import load_baseline, violations
+
+    result = benchmark.pedantic(lambda: _run(False), rounds=1, iterations=1)
+    text = result.report()
+    save_artifact(artifact_dir, "genfast.txt", text)
+    print("\n" + text)
+    save_artifact(
+        artifact_dir,
+        "genfast.json",
+        json.dumps(result.to_dict(), indent=2, sort_keys=True),
+    )
+    failures = violations(result, load_baseline(BASELINE))
+    assert not failures, failures
+
+
+def main(argv):
+    from repro.genfast.bench import load_baseline, run_bench, save_result, violations
+
+    quick = "--quick" in argv
+    update = "--update" in argv
+    result = _run(quick)
+    print(result.report())
+    if "--json" in argv:
+        out = argv[argv.index("--json") + 1]
+        with open(out, "w", encoding="utf-8") as fh:
+            json.dump(result.to_dict(), fh, indent=2, sort_keys=True)
+        print(f"snapshot -> {out}")
+    if update:
+        if quick:
+            print("refusing to update the baseline from a --quick run", file=sys.stderr)
+            return 1
+        save_result(result, BASELINE)
+        print(f"baseline updated -> {BASELINE}")
+        return 0
+    baseline = load_baseline(BASELINE)
+    if baseline is None:
+        print(f"(no committed baseline at {BASELINE}; gating on floors only)")
+    failures = violations(result, baseline)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    sys.exit(main(sys.argv[1:]))

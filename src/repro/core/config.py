@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.genfast.settings import GenfastSettings
 from repro.hotpath.settings import HotpathSettings
 from repro.megabatch.settings import MegabatchSettings
 from repro.runtime.settings import RuntimeSettings
@@ -91,3 +92,10 @@ class XsecConfig:
     # Defaults keep everything in-process and bit-identical to the seed
     # (see docs/RUNTIME.md).
     runtime: RuntimeSettings = field(default_factory=RuntimeSettings)
+
+    # Telemetry generation/ingest fast lane (repro.genfast): columnar
+    # MobiFlow batch indications with interned vocab ids, one acked SDL
+    # write per batch, and one-pass vectorized featurization. Defaults
+    # keep the seed per-record path bit-identical (see
+    # docs/PERFORMANCE.md, "Generation & ingest").
+    genfast: GenfastSettings = field(default_factory=GenfastSettings)

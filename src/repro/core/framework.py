@@ -77,7 +77,7 @@ class SixGXSec:
         self.config = config or XsecConfig()
         self.net = FiveGNetwork(network_config or NetworkConfig(seed=self.config.seed))
         self.e2 = InterfaceLink(self.net.sim, "E2", latency_s=0.002)
-        self.agent = RicAgent(self.net, self.e2)
+        self.agent = RicAgent(self.net, self.e2, genfast=self.config.genfast)
         self.ric = NearRtRic(self.net.sim, self.e2, scale=self.config.scale)
         self.e2.connect(a_handler=self.agent.on_e2, b_handler=self.ric.e2term.on_e2)
         self.llm_server = llm_server or SimulatedLlmServer()

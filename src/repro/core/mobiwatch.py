@@ -331,6 +331,12 @@ class MobiWatchXApp(XApp):
         tick_rows: list = []
         released: list[int] = []
         evict_release = self.config.megabatch.evict_on_release
+        # repro.genfast: defer per-record SDL writes and flush them as one
+        # acked batched write per shard after the ingest loop. Stored
+        # values and watcher notifications are identical; only the write
+        # batching changes.
+        batch_writes = self.config.genfast.batched_sdl_writes
+        pending_writes: list[tuple[int, MobiFlowRecord]] = []
         for record in records:
             index = len(self.series)
             if index and record.timestamp < self.series[index - 1].timestamp:
@@ -349,7 +355,9 @@ class MobiWatchXApp(XApp):
             else:
                 self._rows.append(row)
             self._arrival_ts.append(self.now)
-            if self._sharded_sdl:
+            if batch_writes:
+                pending_writes.append((index, record))
+            elif self._sharded_sdl:
                 # Place telemetry by UE session so one session's records
                 # stay on one shard (and its replicas).
                 self.sdl.set(
@@ -373,6 +381,25 @@ class MobiWatchXApp(XApp):
                     tick_rows.append((session_id, row))
                 if evict_release and record.msg == RRC_RELEASE_MSG:
                     released.append(session_id)
+        if pending_writes:
+            if self._sharded_sdl:
+                # Same placement as the per-record path: group by shard key
+                # so each session's batch lands on its session's shard.
+                groups: dict[str, list[tuple[str, dict]]] = {}
+                for index, record in pending_writes:
+                    groups.setdefault(str(record.session_id or index), []).append(
+                        (f"{index:09d}", _record_value(record))
+                    )
+                for shard_key, pairs in groups.items():
+                    self.sdl.set_many(SDL_TELEMETRY_NS, pairs, shard_key=shard_key)
+            else:
+                self.sdl.set_many(
+                    SDL_TELEMETRY_NS,
+                    [
+                        (f"{index:09d}", _record_value(record))
+                        for index, record in pending_writes
+                    ],
+                )
         if self.detector is not None:
             unique = list(dict.fromkeys(touched))
             if self._quantized is not None:

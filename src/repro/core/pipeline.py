@@ -211,6 +211,15 @@ class ClosedLoopPipeline:
             # repro.runtime: per-process liveness and restart counts for
             # the supervised scoring workers.
             report["runtime"] = supervisor.health()
+        genfast = self.config.genfast
+        if genfast.any_enabled:
+            # repro.genfast: which generation/ingest fast lanes are active.
+            report["genfast"] = {
+                "columnar_batches": genfast.columnar_batches,
+                "batched_sdl_writes": genfast.batched_sdl_writes,
+                "vectorized_features": genfast.vectorized_features,
+                "sim_fastlane": genfast.sim_fastlane,
+            }
         return report
 
     # -- loop tracing (repro.obs) ---------------------------------------------------

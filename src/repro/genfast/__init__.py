@@ -1,0 +1,18 @@
+"""repro.genfast — vectorized telemetry generation & ingest.
+
+The generation/ingest fast lane behind ``XsecConfig.genfast``:
+
+- columnar :class:`~repro.telemetry.batch.MobiFlowBatch` indications with
+  interned vocab ids, one acked SDL write per batch;
+- one-pass vectorized featurization (`repro.telemetry.vectorized`) with a
+  float64 equality contract against the seed ``StreamingEncoder``;
+- sim fast-lane: ``__slots__`` events, template-cached RAN message
+  construction (`repro.ran.templates`) and batched timer scheduling
+  (`repro.sim.fastlane`).
+
+Defaults keep the seed per-record path bit-identical.
+"""
+
+from repro.genfast.settings import GenfastSettings
+
+__all__ = ["GenfastSettings"]

@@ -18,7 +18,13 @@ from typing import Any, Optional
 
 from repro import wire
 from repro.oran.e2sm import E2smError, ServiceModel
-from repro.telemetry.encoder import decode_batch, encode_batch
+from repro.telemetry.batch import MobiFlowBatch
+from repro.telemetry.encoder import (
+    decode_batch,
+    decode_batch_columnar,
+    encode_batch,
+    encode_batch_columnar,
+)
 from repro.telemetry.mobiflow import MobiFlowRecord
 
 MOBIFLOW_RAN_FUNCTION_ID = 142  # KPM is 2; we register the extension as 142.
@@ -100,7 +106,18 @@ class MobiFlowKpmModel(ServiceModel):
 
     @classmethod
     def encode_indication(cls, payload: Any) -> tuple[bytes, bytes]:
-        """Encode a list of MobiFlow records into header + message bytes."""
+        """Encode a telemetry batch into header + message bytes.
+
+        A :class:`MobiFlowBatch` payload (repro.genfast) ships columnar —
+        struct-of-arrays with per-batch vocab ids; a record list ships as
+        the seed's per-record KV dicts. Both decode to the identical record
+        stream.
+        """
+        if isinstance(payload, MobiFlowBatch):
+            header = wire.encode(
+                {"sm": cls.NAME, "count": len(payload), "columnar": True}
+            )
+            return header, encode_batch_columnar(payload)
         records: list[MobiFlowRecord] = list(payload)
         header = wire.encode({"sm": cls.NAME, "count": len(records)})
         message = encode_batch(records)
@@ -111,7 +128,10 @@ class MobiFlowKpmModel(ServiceModel):
         meta = wire.decode(header)
         if not isinstance(meta, dict) or meta.get("sm") != cls.NAME:
             raise E2smError("indication header is not MobiFlow-KPM")
-        records = decode_batch(message)
+        if meta.get("columnar"):
+            records = decode_batch_columnar(message).to_records()
+        else:
+            records = decode_batch(message)
         if meta.get("count") != len(records):
             raise E2smError(
                 f"indication count mismatch: header says {meta.get('count')}, "

@@ -66,6 +66,33 @@ class SharedDataLayer:
                 self._watch_errors.inc()
         self._write_wall.observe(time.perf_counter() - start)
 
+    def set_many(self, namespace: str, pairs: list[tuple[str, Any]]) -> None:
+        """Store a batch of ``(key, value)`` pairs as one acked write
+        (repro.genfast). Values are encoded and watchers notified exactly as
+        ``set`` does per pair, but the write/wall bookkeeping is paid once
+        per batch: one ``writes`` increment, one summed ``value_bytes``
+        observation, one ``write_wall`` span."""
+        if not pairs:
+            return
+        start = time.perf_counter()
+        ns = self._data.setdefault(namespace, {})
+        total_bytes = 0
+        for key, value in pairs:
+            encoded = wire.encode(value)
+            ns[key] = encoded
+            total_bytes += len(encoded)
+        self.writes += 1
+        self._writes_counter.inc()
+        self._value_bytes.observe(total_bytes)
+        watchers = self._watchers.get(namespace, [])
+        for callback in watchers:
+            for key, value in pairs:
+                try:
+                    callback(namespace, key, value)
+                except Exception:
+                    self._watch_errors.inc()
+        self._write_wall.observe(time.perf_counter() - start)
+
     def get(self, namespace: str, key: str, default: Any = None) -> Any:
         self.reads += 1
         self._reads_counter.inc()

@@ -37,7 +37,23 @@ class MessageError(ValueError):
 
 _REGISTRY: Dict[str, Type["Message"]] = {}
 
+# Per-class tuple of dataclass field names. ``dataclasses.fields`` walks
+# the class hierarchy and allocates Field views on every call, which shows
+# up hot in telemetry generation (fields() runs per captured message).
+# Populated lazily on first use — it cannot be built in __init_subclass__
+# because @dataclass wraps the class *after* that hook runs.
+_FIELD_NAMES: Dict[type, tuple] = {}
+
 M = TypeVar("M", bound="Message")
+
+
+def _field_names(cls: type) -> tuple:
+    names = _FIELD_NAMES.get(cls)
+    if names is None:
+        names = _FIELD_NAMES[cls] = tuple(
+            field.name for field in dataclasses.fields(cls)
+        )
+    return names
 
 
 @dataclass
@@ -76,16 +92,19 @@ class Message:
     def fields(self) -> Dict[str, Any]:
         """Return the message's information elements as a plain dict."""
         out: Dict[str, Any] = {}
-        for field in dataclasses.fields(self):
-            value = getattr(self, field.name)
+        for name in _field_names(type(self)):
+            value = getattr(self, name)
             if isinstance(value, enum.Enum):
                 value = value.value
-            out[field.name] = value
+            out[name] = value
         return out
 
     def to_wire(self) -> bytes:
         """Serialize to TLV bytes: ``{"msg": NAME, "ie": {...}}``."""
-        return wire.encode({"msg": self.name, "ie": self.fields()})
+        # encode_fast produces byte-identical output to encode() for every
+        # value a message can hold (str/int/float/bool/None/dict), so the
+        # fast path is unconditional.
+        return wire.encode_fast({"msg": type(self).NAME, "ie": self.fields()})
 
     @staticmethod
     def from_wire(data: bytes) -> "Message":
@@ -104,7 +123,7 @@ class Message:
         if not isinstance(ie, dict):
             raise MessageError("message IEs are not a dict")
         kwargs: Dict[str, Any] = {}
-        for field in dataclasses.fields(cls):
+        for field in dataclasses.fields(cls):  # needs field.type for enums
             if field.name not in ie:
                 raise MessageError(f"{name}: missing IE {field.name!r}")
             value = ie[field.name]

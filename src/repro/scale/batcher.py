@@ -123,6 +123,41 @@ class BoundedBatcher:
             self._scheduler(self.flush_interval_s, self._tick)
         return True
 
+    def offer_many(self, items: List[Any]) -> int:
+        """Enqueue a whole batch (repro.genfast); returns how many were
+        admitted.
+
+        Per-item drop-policy semantics are identical to calling ``offer``
+        in a loop, but the counter updates, timestamp read, and flush
+        checks are batched: one clock read stamps the batch and size-based
+        flushing runs after the batch is admitted instead of per item.
+        """
+        if self.closed:
+            raise RuntimeError(f"batcher {self.name!r} is closed")
+        if not items:
+            return 0
+        count = len(items)
+        self.offered += count
+        self._offered_counter.inc(count)
+        now = self._clock()
+        admitted = 0
+        for item in items:
+            if len(self._queue) >= self.capacity:
+                self.dropped += 1
+                self._dropped_counter.inc()
+                if self.drop_policy == DROP_NEWEST:
+                    continue
+                self._queue.popleft()
+            self._queue.append((now, item))
+            admitted += 1
+        if len(self._queue) >= self.flush_records:
+            while len(self._queue) >= self.flush_records:
+                self._flush_one_batch()
+        elif self._scheduler is not None and self.flush_interval_s > 0 and not self._ticking:
+            self._ticking = True
+            self._scheduler(self.flush_interval_s, self._tick)
+        return admitted
+
     # -- consumer side ------------------------------------------------------------
 
     def _flush_one_batch(self) -> int:

@@ -226,6 +226,55 @@ class ShardedSdl:
             prof.record("sdl.set", elapsed)
         return completed
 
+    def set_many(
+        self, namespace: str, pairs: list[tuple[str, Any]], shard_key: str
+    ) -> float:
+        """Store a batch of ``(key, value)`` pairs that share one placement
+        key as **one acked write** (repro.genfast).
+
+        One ring lookup, one liveness check, and one service-model round
+        per replica cover the whole batch; values are encoded and watchers
+        notified per pair exactly as ``set`` does. Raises
+        :class:`ShardUnavailableError` (nothing stored) when every replica
+        is dead. Returns the modeled completion time.
+        """
+        if not pairs:
+            return self._clock()
+        start_wall = time.perf_counter()
+        encoded_pairs = [(key, wire.encode(value)) for key, value in pairs]
+        names = self.replicas_for(shard_key)
+        alive = [self._shards[name] for name in names if self._shards[name].alive]
+        if not alive:
+            raise ShardUnavailableError(
+                f"no alive replica for {namespace} batch (replicas: {names})"
+            )
+        completed = self._clock()
+        for shard in alive:
+            ns = shard.data.setdefault(namespace, {})
+            for key, encoded in encoded_pairs:
+                ns[key] = encoded
+            shard.writes += 1
+            self._shard_writes[shard.name].inc()
+            done = self._serve(shard)
+            if done > completed:
+                completed = done
+        self.writes += 1
+        self._writes_counter.inc()
+        self._value_bytes.observe(sum(len(encoded) for _, encoded in encoded_pairs))
+        watchers = self._watchers.get(namespace, [])
+        for callback in watchers:
+            for key, value in pairs:
+                try:
+                    callback(namespace, key, value)
+                except Exception:
+                    self._watch_errors.inc()
+        elapsed = time.perf_counter() - start_wall
+        self._write_wall.observe(elapsed)
+        prof = _profiler.CURRENT
+        if prof is not None:
+            prof.record("sdl.set_many", elapsed)
+        return completed
+
     def get(
         self,
         namespace: str,

@@ -8,6 +8,7 @@ that experiments are reproducible bit-for-bit from a single seed.
 
 from repro.sim.engine import Event, EventQueue, Simulator
 from repro.sim.entity import Entity
+from repro.sim.fastlane import FleetTicker
 from repro.sim.rng import RngRegistry
 
-__all__ = ["Event", "EventQueue", "Simulator", "Entity", "RngRegistry"]
+__all__ = ["Event", "EventQueue", "Simulator", "Entity", "FleetTicker", "RngRegistry"]

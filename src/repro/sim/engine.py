@@ -10,8 +10,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, List, Optional
 
 from repro.obs import ObsContext
 from repro.sim.rng import RngRegistry
@@ -21,30 +20,72 @@ class SimulationError(RuntimeError):
     """Raised when the simulation is driven into an invalid state."""
 
 
-@dataclass(order=True)
 class Event:
     """A single scheduled event.
 
     Events order by ``(time, seq)``; ``seq`` is a monotonically increasing
     tie-breaker so two events at the same instant fire in scheduling order.
+
+    A ``__slots__`` class rather than a dataclass: the engine's innermost
+    loop allocates one of these per scheduled callback, and skipping the
+    dataclass ``__init__``/``__dict__`` machinery measurably cuts the
+    event-churn cost of timer-heavy workloads (repro.genfast).
     """
 
-    time: float
-    seq: int
-    callback: Callable[[], Any] = field(compare=False)
-    name: str = field(default="", compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    # Owning queue while the event is pending (None once popped): lets
-    # cancel() keep the queue's live count exact in O(1).
-    _queue: Optional["EventQueue"] = field(default=None, compare=False, repr=False)
+    __slots__ = ("time", "seq", "callback", "name", "cancelled", "_queue")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[[], Any],
+        name: str = "",
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.name = name
+        self.cancelled = False
+        # Owning queue while the event is pending (None once popped): lets
+        # cancel() keep the queue's live count exact in O(1).
+        self._queue: Optional["EventQueue"] = None
+
+    def __repr__(self) -> str:
+        return (
+            f"Event(time={self.time!r}, seq={self.seq!r}, name={self.name!r}, "
+            f"cancelled={self.cancelled!r})"
+        )
+
+    # Same ordering contract the (order=True) dataclass generated: compare
+    # by (time, seq) only — the tie-breaking seq is unique per queue, so
+    # equality on (time, seq) identifies the event.
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __le__(self, other: "Event") -> bool:
+        return (self.time, self.seq) <= (other.time, other.seq)
+
+    def __gt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) > (other.time, other.seq)
+
+    def __ge__(self, other: "Event") -> bool:
+        return (self.time, self.seq) >= (other.time, other.seq)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return (self.time, self.seq) == (other.time, other.seq)
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when popped."""
         if self.cancelled:
             return
         self.cancelled = True
-        if self._queue is not None:
-            self._queue._live -= 1
+        queue = self._queue
+        if queue is not None:
+            queue._live -= 1
+            queue._cancelled += 1
+            queue._maybe_compact()
 
 
 class EventQueue:
@@ -54,18 +95,35 @@ class EventQueue:
     and cancel instead of scanning the heap — the ``sim.queue_depth``
     metrics gauge reads it on every snapshot, which made the scan
     O(pending events) per scrape.
+
+    Cancelled events are normally dropped lazily when popped, but a
+    cancel-then-reschedule pattern (e.g. the megabatch maturity timers,
+    re-armed on every session touch) can cancel far more events than it
+    pops, growing the heap without bound. When more than half the heap is
+    cancelled tombstones (and the heap is big enough to matter), the queue
+    compacts: it filters the tombstones out and re-heapifies — O(live)
+    work paid at most every O(live) cancellations, so amortized O(1).
     """
+
+    # Never compact tiny heaps; the lazy path handles them fine.
+    COMPACT_MIN_HEAP = 64
 
     def __init__(self) -> None:
         self._heap: list[Event] = []
         self._counter = itertools.count()
         self._live = 0
+        self._cancelled = 0  # cancelled events still sitting in the heap
 
     def __len__(self) -> int:
         return self._live
 
+    @property
+    def heap_size(self) -> int:
+        """Heap entries including cancelled tombstones (tests, gauges)."""
+        return len(self._heap)
+
     def push(self, time: float, callback: Callable[[], Any], name: str = "") -> Event:
-        event = Event(time=time, seq=next(self._counter), callback=callback, name=name)
+        event = Event(time, next(self._counter), callback, name)
         event._queue = self
         heapq.heappush(self._heap, event)
         self._live += 1
@@ -81,12 +139,30 @@ class EventQueue:
                 event._queue = None
                 self._live -= 1
                 return event
+            self._cancelled -= 1
         return None
 
     def peek_time(self) -> Optional[float]:
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
+            self._cancelled -= 1
         return self._heap[0].time if self._heap else None
+
+    def _maybe_compact(self) -> None:
+        if (
+            len(self._heap) >= self.COMPACT_MIN_HEAP
+            and self._cancelled * 2 > len(self._heap)
+        ):
+            self.compact()
+
+    def compact(self) -> int:
+        """Drop cancelled tombstones and re-heapify; returns how many."""
+        dropped = self._cancelled
+        if dropped:
+            self._heap = [event for event in self._heap if not event.cancelled]
+            heapq.heapify(self._heap)
+            self._cancelled = 0
+        return dropped
 
 
 class Simulator:
@@ -155,6 +231,28 @@ class Simulator:
                 f"cannot schedule at t={time} < now={self._now}"
             )
         return self._queue.push(time, callback, name=name)
+
+    def schedule_batch(
+        self, delay: float, callbacks: List[Callable[[], Any]], name: str = ""
+    ) -> Event:
+        """Schedule many callbacks to fire at the same instant as ONE event.
+
+        A UE fleet that ticks every member on the same cadence costs one
+        heap entry per member per tick through :meth:`schedule`; this packs
+        the whole tick into a single entry — O(1) heap churn per tick
+        instead of O(fleet). The callbacks fire in list order, exactly as
+        the per-callback path would have (same time, consecutive seqs).
+        Cancelling the returned event cancels the entire batch.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        batch = list(callbacks)
+
+        def fire() -> None:
+            for callback in batch:
+                callback()
+
+        return self._queue.push(self._now + delay, fire, name=name)
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
         """Run events until the queue is empty, ``until`` is reached, or

@@ -1,0 +1,104 @@
+"""Sim fast lane: batched fleet ticking (repro.genfast).
+
+Large UE fleets driven on a shared cadence are the dominant event-churn
+source in the generation benchmarks: a 500-UE fleet ticking at 10 Hz costs
+5000 heap pushes per simulated second through ``Simulator.schedule``. The
+:class:`FleetTicker` packs each tick into a single
+:meth:`~repro.sim.engine.Simulator.schedule_batch` event — one heap entry
+per tick regardless of fleet size — while preserving the exact firing
+order the per-member path would have produced (members fire in
+registration order at the same instant).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from repro.sim.engine import Event, Simulator
+
+Tick = Callable[[], Any]
+
+
+class FleetTicker:
+    """Drives a fleet of per-member callbacks on a fixed cadence.
+
+    Usage::
+
+        ticker = FleetTicker(sim, period_s=0.1, name="ue-fleet")
+        for ue in fleet:
+            ticker.add(ue.tick)
+        ticker.start()
+        sim.run(until=30.0)
+
+    Members added while the ticker is running join at the next tick.
+    ``remove`` takes effect at the next tick as well; a member removed
+    mid-tick still fires for the tick in progress (matching what a
+    per-member ``schedule`` loop would have already committed to).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        period_s: float,
+        name: str = "fleet-tick",
+    ) -> None:
+        if period_s <= 0:
+            raise ValueError(f"period_s must be positive (got {period_s})")
+        self.sim = sim
+        self.period_s = period_s
+        self.name = name
+        self.ticks_fired = 0
+        self._members: List[Tick] = []
+        self._pending: Optional[Event] = None
+        self._running = False
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def add(self, tick: Tick) -> None:
+        """Register a member; it fires every tick from the next one on."""
+        self._members.append(tick)
+
+    def remove(self, tick: Tick) -> bool:
+        """Drop a member (first matching registration). True if found."""
+        try:
+            self._members.remove(tick)
+        except ValueError:
+            return False
+        return True
+
+    def start(self, delay_s: float = 0.0) -> None:
+        """Arm the tick loop; the first tick fires after ``delay_s``
+        (default: one full period from now would be ``self.period_s`` —
+        pass it explicitly to align with an existing cadence)."""
+        if self._running:
+            return
+        self._running = True
+        self._arm(delay_s if delay_s > 0 else self.period_s)
+
+    def stop(self) -> None:
+        """Cancel the pending tick; members stay registered."""
+        self._running = False
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+
+    def _arm(self, delay_s: float) -> None:
+        # One heap entry for the whole fleet: the batch fires the member
+        # sweep plus a trailing re-arm callback, so the next tick is
+        # scheduled from within the same event. The sweep reads the live
+        # member list at fire time, so joins/leaves between ticks take
+        # effect at the very next tick.
+        self._pending = self.sim.schedule_batch(
+            delay_s, [self._fire_members, self._rearm], name=self.name
+        )
+
+    def _fire_members(self) -> None:
+        for tick in list(self._members):
+            tick()
+
+    def _rearm(self) -> None:
+        self.ticks_fired += 1
+        self._pending = None
+        if self._running:
+            self._arm(self.period_s)

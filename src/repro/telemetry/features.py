@@ -153,13 +153,23 @@ class FeatureSpec:
         """A stateful per-record encoder for live pipelines."""
         return StreamingEncoder(self)
 
-    def encode_series(self, series: TelemetrySeries) -> np.ndarray:
+    def encode_series(
+        self, series: TelemetrySeries, *, vectorized: bool = False
+    ) -> np.ndarray:
         """Encode a telemetry series to an ``[M, dim]`` float32 matrix.
 
         The identifier-relation flags are computed causally: each entry only
         looks at entries before it, so live inference (via
         :meth:`streaming_encoder`) sees exactly the same features.
+
+        ``vectorized=True`` (repro.genfast) computes the same matrix in one
+        numpy pass instead of the per-entry loop — bit-identical by the
+        equality contract in :mod:`repro.telemetry.vectorized`.
         """
+        if vectorized:
+            from repro.telemetry.vectorized import encode_series as _encode_vectorized
+
+            return _encode_vectorized(self, series)
         encoder = self.streaming_encoder()
         records = series.records
         out = np.zeros((len(records), self.dim), dtype=np.float32)
@@ -303,6 +313,42 @@ def sliding_windows(matrix: np.ndarray, window: int) -> np.ndarray:
     )
 
 
+def session_windows(
+    session_ids: Sequence[int], per_record: np.ndarray, window: int, dim: int
+) -> tuple[np.ndarray, list]:
+    """Session-mode window assembly shared by the per-record and columnar
+    paths: slide within each nonzero session's record sequence (stream
+    order), one left-padded window per short session, sessions in sorted-id
+    order. Returns ``(windows, window_records)``."""
+    groups: dict[int, list[int]] = {}
+    for index, session_id in enumerate(session_ids):
+        if session_id == 0:
+            continue  # untracked records (no RNTI correlation)
+        groups.setdefault(session_id, []).append(index)
+    # One row per sliding position, one per short session: sized up
+    # front so rows land in the final matrix (no stack of copies).
+    total = sum(max(len(indices) - window + 1, 1) for indices in groups.values())
+    windows = np.zeros((total, window * dim), dtype=per_record.dtype)
+    window_records: list = []
+    row = 0
+    for session_id in sorted(groups):
+        indices = groups[session_id]
+        if len(indices) >= window:
+            for start in range(len(indices) - window + 1):
+                chosen = indices[start : start + window]
+                np.take(per_record, chosen, axis=0, out=windows[row].reshape(window, dim))
+                window_records.append(tuple(chosen))
+                row += 1
+        else:
+            # Short (possibly abandoned) session: one left-padded window.
+            windows[row].reshape(window, dim)[window - len(indices) :] = (
+                per_record[indices]
+            )
+            window_records.append(tuple(indices))
+            row += 1
+    return windows, window_records
+
+
 @dataclass
 class WindowedDataset:
     """Sliding-window view of a telemetry series, ready for the models.
@@ -339,6 +385,7 @@ class WindowedDataset:
         mode: str = "session",
         *,
         cache=None,
+        vectorized: bool = False,
     ) -> "WindowedDataset":
         """Encode and window a series.
 
@@ -347,12 +394,19 @@ class WindowedDataset:
         memoized on the series' *content* digest, so repeated encodes of the
         same capture — e.g. across ablation-sweep configurations — are free.
         Cached arrays are read-only; copy before mutating.
+
+        ``vectorized`` (repro.genfast) routes the encode through the
+        one-pass vectorized featurizer — bit-identical output, one numpy
+        pass instead of the per-entry loop. Ignored on the cache path (a
+        cache hit never re-encodes; a miss uses the cache's own builder).
         """
         if mode not in ("session", "global"):
             raise ValueError(f"mode must be 'session' or 'global', got {mode!r}")
         if cache is not None:
             return cache.windowed(series, spec, window, mode, builder=cls._assemble)
-        return cls._assemble(series, spec, window, mode, spec.encode_series(series))
+        return cls._assemble(
+            series, spec, window, mode, spec.encode_series(series, vectorized=vectorized)
+        )
 
     @classmethod
     def _assemble(
@@ -378,35 +432,9 @@ class WindowedDataset:
                 mode=mode,
             )
         # Session mode: group record indices per session, in stream order.
-        groups: dict[int, list[int]] = {}
-        for index, record in enumerate(series):
-            if record.session_id == 0:
-                continue  # untracked records (no RNTI correlation)
-            groups.setdefault(record.session_id, []).append(index)
-        dim = spec.dim
-        # One row per sliding position, one per short session: sized up
-        # front so rows land in the final matrix (no stack of copies).
-        total = sum(
-            max(len(indices) - window + 1, 1) for indices in groups.values()
+        windows, window_records = session_windows(
+            [record.session_id for record in series], per_record, window, spec.dim
         )
-        windows = np.zeros((total, window * dim), dtype=per_record.dtype)
-        window_records = []
-        row = 0
-        for session_id in sorted(groups):
-            indices = groups[session_id]
-            if len(indices) >= window:
-                for start in range(len(indices) - window + 1):
-                    chosen = indices[start : start + window]
-                    np.take(per_record, chosen, axis=0, out=windows[row].reshape(window, dim))
-                    window_records.append(tuple(chosen))
-                    row += 1
-            else:
-                # Short (possibly abandoned) session: one left-padded window.
-                windows[row].reshape(window, dim)[window - len(indices) :] = (
-                    per_record[indices]
-                )
-                window_records.append(tuple(indices))
-                row += 1
         return cls(
             spec=spec,
             window=window,
