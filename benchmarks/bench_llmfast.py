@@ -1,0 +1,89 @@
+"""Bench V1 — the verdict-plane fast path (repro.llmfast).
+
+Measures the three analyst-side fast lanes against their seed
+equivalents on a duplicate-heavy storm workload:
+
+- analyzer storm throughput: the full expert-referencing round every
+  time vs the content-addressed verdict cache + vectorized retrieval +
+  compiled prompts (floor: >= 5x);
+- RAG retrieval alone: ``CellularKnowledgeBase.retrieve`` vs the
+  precomputed-term-index ``VectorizedRetriever`` (floor: >= 3x);
+- prompt assembly alone: ``PromptTemplate.render`` vs the
+  ``CompiledPromptBuilder`` single-join path (floor: >= 2x).
+
+Every run re-verifies the equality contracts (identical verdict
+decisions, identical retrieval rankings, byte-identical prompts) and
+gates against the committed perf baseline ``BENCH_llmfast.json`` at the
+repo root.
+
+Runs two ways:
+
+- under pytest-benchmark (full run, artifacts under ``benchmarks/out/``);
+- as a plain script for CI smoke: ``python benchmarks/bench_llmfast.py
+  --quick`` (no pytest-benchmark needed), exit 1 on any violated gate.
+  ``--update`` rewrites the committed baseline from a full run.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BASELINE = REPO_ROOT / "BENCH_llmfast.json"
+
+
+def _run(quick):
+    from repro.llmfast.bench import run_bench
+
+    return run_bench(quick=quick)
+
+
+def test_llmfast(benchmark, artifact_dir):
+    from conftest import save_artifact
+
+    from repro.llmfast.bench import load_baseline, violations
+
+    result = benchmark.pedantic(lambda: _run(False), rounds=1, iterations=1)
+    text = result.report()
+    save_artifact(artifact_dir, "llmfast.txt", text)
+    print("\n" + text)
+    save_artifact(
+        artifact_dir,
+        "llmfast.json",
+        json.dumps(result.to_dict(), indent=2, sort_keys=True),
+    )
+    failures = violations(result, load_baseline(BASELINE))
+    assert not failures, failures
+
+
+def main(argv):
+    from repro.llmfast.bench import load_baseline, run_bench, save_result, violations
+
+    quick = "--quick" in argv
+    update = "--update" in argv
+    result = _run(quick)
+    print(result.report())
+    if "--json" in argv:
+        out = argv[argv.index("--json") + 1]
+        with open(out, "w", encoding="utf-8") as fh:
+            json.dump(result.to_dict(), fh, indent=2, sort_keys=True)
+        print(f"snapshot -> {out}")
+    if update:
+        if quick:
+            print("refusing to update the baseline from a --quick run", file=sys.stderr)
+            return 1
+        save_result(result, BASELINE)
+        print(f"baseline updated -> {BASELINE}")
+        return 0
+    baseline = load_baseline(BASELINE)
+    if baseline is None:
+        print(f"(no committed baseline at {BASELINE}; gating on floors only)")
+    failures = violations(result, baseline)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    sys.exit(main(sys.argv[1:]))

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 
 from repro.genfast.settings import GenfastSettings
 from repro.hotpath.settings import HotpathSettings
+from repro.llmfast.settings import LlmfastSettings
 from repro.megabatch.settings import MegabatchSettings
 from repro.runtime.settings import RuntimeSettings
 from repro.scale.settings import ScaleSettings
@@ -99,3 +100,10 @@ class XsecConfig:
     # keep the seed per-record path bit-identical (see
     # docs/PERFORMANCE.md, "Generation & ingest").
     genfast: GenfastSettings = field(default_factory=GenfastSettings)
+
+    # Verdict-plane fast path (repro.llmfast): content-addressed verdict
+    # cache + in-flight coalescing, vectorized RAG retrieval, compiled
+    # prompt assembly, and the storm-safe dispatch queue with batched
+    # verdict persistence. Defaults keep the seed analyzer path
+    # bit-identical (see docs/PERFORMANCE.md, "Verdict plane").
+    llmfast: LlmfastSettings = field(default_factory=LlmfastSettings)

@@ -92,6 +92,9 @@ class MobiWatchXApp(XApp):
         self.records_seen = 0
         self.windows_scored = 0
         self.sessions_evicted = 0
+        # Observers notified after a session's state is evicted (the LLM
+        # analyzer prunes its per-session cooldown ledger through this).
+        self._evict_callbacks: list = []
         self.anomalies: list[AnomalyEvent] = []
         metrics = self.sim.obs.metrics
         self._records_counter = metrics.counter(
@@ -623,7 +626,14 @@ class MobiWatchXApp(XApp):
         self.sessions_evicted += 1
         if self._evicted_counter is not None:
             self._evicted_counter.inc()
+        for callback in self._evict_callbacks:
+            callback(session_id)
         return True
+
+    def on_session_evicted(self, callback) -> None:
+        """Register an observer for session evictions (called with the
+        session id after every successful :meth:`_evict_session`)."""
+        self._evict_callbacks.append(callback)
 
     def _flush_pool(self) -> None:
         if self.pool is not None and self.pool.pending:

@@ -220,6 +220,17 @@ class ClosedLoopPipeline:
                 "vectorized_features": genfast.vectorized_features,
                 "sim_fastlane": genfast.sim_fastlane,
             }
+        llmfast = self.config.llmfast
+        if llmfast.any_enabled:
+            # repro.llmfast: the verdict-plane ledger (the invariant
+            # offered == analyzed + coalesced + cache_hits + shed + pending
+            # holds at every instant) plus cache/dispatcher internals.
+            analyzer = self.analyzer
+            section: dict = {"ledger": analyzer.ledger()}
+            section["cache"] = analyzer.analyst.cache_stats
+            if analyzer._dispatcher is not None:
+                section["dispatch"] = analyzer._dispatcher.stats()
+            report["llmfast"] = section
         return report
 
     # -- loop tracing (repro.obs) ---------------------------------------------------

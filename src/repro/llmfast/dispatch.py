@@ -1,0 +1,118 @@
+"""Storm-safe dispatch queue (repro.llmfast).
+
+The seed analyzer fires one provider request per anomaly the moment it
+arrives: under an incident flood every anomaly that survives the
+per-session cooldown opens its own concurrent round trip.  A real
+provider (and the paper's closed-loop budget) cannot absorb that.
+
+:class:`StormDispatcher` is the pure queueing core the analyzer xApp
+drives: at most ``max_inflight`` requests are outstanding at once;
+the backlog is a severity-ordered priority queue (highest severity
+dispatches first); once the backlog exceeds ``queue_capacity`` the
+*lowest-priority* request among the backlog and the newcomer is shed —
+counted, never silent.  The xApp owns scheduling and the ledger
+invariant (``offered == analyzed + coalesced + cache_hits + shed +
+pending``); this class owns only the mechanics, which keeps it unit-
+testable without a simulator.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Optional
+
+
+class StormDispatcher:
+    """Bounded-concurrency, severity-priority request queue."""
+
+    def __init__(self, max_inflight: int = 4, queue_capacity: int = 256) -> None:
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+        self.max_inflight = max_inflight
+        self.queue_capacity = queue_capacity
+        self.inflight = 0
+        self.shed = 0
+        self.dispatched = 0
+        self._seq = 0
+        # Min-heap on (-priority, seq): highest priority pops first,
+        # FIFO within equal priorities.
+        self._heap: list[tuple[float, int, Any]] = []
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def backlog(self) -> int:
+        return len(self._heap)
+
+    def submit(self, priority: float, item: Any) -> tuple[str, Optional[Any]]:
+        """Offer one request.
+
+        Returns ``("dispatch", item)`` when the caller should fire the
+        request now (an in-flight slot was free), ``("queued", None)``
+        when it was enqueued, or ``("shed", victim)`` when capacity was
+        exhausted and ``victim`` (the lowest-priority request — possibly
+        the newcomer itself) was dropped.
+        """
+        if self.inflight < self.max_inflight:
+            self.inflight += 1
+            self.dispatched += 1
+            return "dispatch", item
+        if len(self._heap) >= self.queue_capacity:
+            victim = self._shed_lowest(priority, item)
+            self.shed += 1
+            if victim is item:
+                return "shed", victim
+            # The newcomer displaced a queued request; enqueue it.
+            self._push(priority, item)
+            return "shed", victim
+        self._push(priority, item)
+        return "queued", None
+
+    def complete(self) -> Optional[Any]:
+        """Mark one in-flight request finished; return the next to fire.
+
+        When the backlog is non-empty the highest-priority request is
+        returned and *stays counted as in-flight* (the caller fires it
+        immediately); otherwise the slot is released.
+        """
+        if self.inflight <= 0:
+            raise RuntimeError("complete() without a matching dispatch")
+        if self._heap:
+            _, _, item = heapq.heappop(self._heap)
+            self.dispatched += 1
+            return item
+        self.inflight -= 1
+        return None
+
+    def _push(self, priority: float, item: Any) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (-priority, self._seq, item))
+
+    def _shed_lowest(self, priority: float, item: Any) -> Any:
+        """Drop the lowest-priority request among backlog + newcomer."""
+        if not self._heap:
+            return item
+        # max() over the heap list: the entry with the largest
+        # (-priority, seq) is the lowest-priority, newest request.
+        worst_index = max(range(len(self._heap)), key=lambda i: self._heap[i][:2])
+        worst = self._heap[worst_index]
+        if -worst[0] >= priority:
+            # Every queued request outranks (or ties) the newcomer.
+            return item
+        self._heap[worst_index] = self._heap[-1]
+        self._heap.pop()
+        heapq.heapify(self._heap)
+        return worst[2]
+
+    def stats(self) -> dict:
+        return {
+            "inflight": self.inflight,
+            "backlog": len(self._heap),
+            "dispatched": self.dispatched,
+            "shed": self.shed,
+            "max_inflight": self.max_inflight,
+            "queue_capacity": self.queue_capacity,
+        }
